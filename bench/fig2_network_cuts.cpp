@@ -1,0 +1,181 @@
+// F2 — the paper's figure 2 and §3 scenarios: which cuts of the network
+// state are consistent? A message (scenario 1) or its ACK (scenario 2) is
+// in flight when the guests freeze. With a reliable transport the cut is
+// always recoverable (retransmit / re-ACK); with an unreliable transport
+// the same cuts lose the message — the inconsistent case of figure 2.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "ckpt/ledger.hpp"
+#include "net/network.hpp"
+#include "net/reliable_channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace dvc;          // NOLINT
+using namespace dvc::bench;   // NOLINT
+
+struct CutOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+  bool consistent = false;
+};
+
+/// Simple unreliable messenger: one datagram per message, no retransmit.
+class Datagrams final : public net::PacketSink {
+ public:
+  Datagrams(net::Network& net, net::Address local, net::Address peer)
+      : net_(&net), local_(local), peer_(peer) {
+    net.attach(local, this);
+  }
+  ~Datagrams() override { net_->detach(local_); }
+
+  void send(std::uint64_t msg_id) {
+    net::Packet p;
+    p.src = local_;
+    p.dst = peer_;
+    p.kind = net::Packet::Kind::kDatagram;
+    p.msg_id = msg_id;
+    p.size_bytes = 1024;
+    net_->send(p);
+  }
+
+  std::uint64_t received = 0;
+  std::uint64_t last_msg = 0;
+
+ private:
+  void on_packet(const net::Packet& p) override {
+    ++received;
+    last_msg = p.msg_id;
+  }
+
+  net::Network* net_;
+  net::Address local_;
+  net::Address peer_;
+};
+
+/// Runs one cut scenario. `cut_after_delivery` false = scenario 1 (data in
+/// flight across the cut), true = scenario 2 (delivered; ACK in flight).
+CutOutcome run_reliable(bool cut_after_delivery) {
+  sim::Simulation sim;
+  auto link = std::make_shared<net::FlatLinkModel>(
+      net::FlatLinkModel::Config{100 * sim::kMicrosecond, 0, 0.0, 1e9});
+  net::Network net(sim, link, sim::Rng(1));
+  const net::HostId ha = net.new_host();
+  const net::HostId hb = net.new_host();
+  net::ReliableEndpoint a(sim, net, {ha, 1}, {hb, 1});
+  net::ReliableEndpoint b(sim, net, {hb, 1}, {ha, 1});
+  ckpt::MessageLedger ledger;
+  b.set_delivery_handler([&](const net::Message& m) {
+    ledger.record_delivery(0, 1, m.id);
+  });
+
+  const std::uint64_t id = a.send(1024);
+  ledger.record_send(0, 1, id);
+  if (cut_after_delivery) {
+    // Scenario 2: the data is on the wire; freezing the sender NOW means
+    // the receiver's ACK finds a dark NIC and is lost across the cut.
+    net.set_host_up(ha, false);
+    sim.schedule_after(5 * sim::kMillisecond,
+                       [&] { net.set_host_up(hb, false); });
+  } else {
+    // Scenario 1: freeze the receiver before the packet lands; freeze the
+    // sender a few ms later (coordinated checkpoint).
+    net.set_host_up(hb, false);
+    sim.schedule_after(5 * sim::kMillisecond,
+                       [&] { net.set_host_up(ha, false); });
+  }
+  // Restore both sides of the cut much later.
+  sim.schedule_after(2 * sim::kMinute, [&] {
+    net.set_host_up(ha, true);
+    net.set_host_up(hb, true);
+  });
+  sim.run();
+
+  CutOutcome out;
+  out.sent = ledger.total_sent();
+  out.delivered = ledger.total_delivered();
+  out.duplicates = b.duplicates_discarded();
+  out.consistent = ledger.check().consistent && !a.failed() && !b.failed();
+  return out;
+}
+
+CutOutcome run_unreliable(bool cut_after_delivery) {
+  sim::Simulation sim;
+  auto link = std::make_shared<net::FlatLinkModel>(
+      net::FlatLinkModel::Config{100 * sim::kMicrosecond, 0, 0.0, 1e9});
+  net::Network net(sim, link, sim::Rng(1));
+  const net::HostId ha = net.new_host();
+  const net::HostId hb = net.new_host();
+  Datagrams a(net, {ha, 1}, {hb, 1});
+  Datagrams b(net, {hb, 1}, {ha, 1});
+
+  a.send(1);
+  if (!cut_after_delivery) {
+    net.set_host_up(hb, false);  // the datagram dies with the dark NIC
+  }
+  sim.schedule_after(5 * sim::kMillisecond, [&] {
+    net.set_host_up(ha, false);
+    net.set_host_up(hb, false);
+  });
+  sim.schedule_after(2 * sim::kMinute, [&] {
+    net.set_host_up(ha, true);
+    net.set_host_up(hb, true);
+  });
+  sim.run();
+
+  CutOutcome out;
+  out.sent = 1;
+  out.delivered = b.received;
+  out.duplicates = 0;
+  out.consistent = b.received == 1;  // nothing retransmits a lost datagram
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("F2: consistent vs. inconsistent cuts of network state\n");
+  std::printf("    (paper fig. 2 + the two §3 recovery scenarios)\n");
+
+  TextTable table({"cut scenario", "transport", "sent", "delivered",
+                   "dup discarded", "cut consistent"});
+  std::vector<MetricRow> rows;
+
+  struct Case {
+    const char* scenario;
+    bool after_delivery;
+    bool reliable;
+  };
+  const Case cases[] = {
+      {"1: data in flight", false, true},
+      {"1: data in flight", false, false},
+      {"2: ACK in flight", true, true},
+      {"2: ACK in flight", true, false},
+  };
+  for (const Case& c : cases) {
+    const CutOutcome out = c.reliable ? run_reliable(c.after_delivery)
+                                      : run_unreliable(c.after_delivery);
+    table.add_row({c.scenario, c.reliable ? "reliable (TCP)" : "datagram",
+                   std::to_string(out.sent), std::to_string(out.delivered),
+                   std::to_string(out.duplicates),
+                   out.consistent ? "yes" : "NO (lost)"});
+    MetricRow row;
+    row.name = std::string("fig2/") +
+               (c.after_delivery ? "ack_in_flight/" : "data_in_flight/") +
+               (c.reliable ? "tcp" : "datagram");
+    row.counters = {{"delivered", static_cast<double>(out.delivered)},
+                    {"consistent", out.consistent ? 1.0 : 0.0},
+                    {"duplicates", static_cast<double>(out.duplicates)}};
+    rows.push_back(std::move(row));
+  }
+  table.print("F2  cut consistency by transport");
+
+  register_metric_rows(rows);
+  return run_benchmark_suite(argc, argv);
+}

@@ -1,0 +1,100 @@
+// T1 — the paper's naive-LSC scaling result (§3.1):
+//   "The attempts at synchronizing the execution of a save command did not
+//    scale beyond 8 nodes, with 10 nodes failing 50% of the time and 12
+//    nodes failing 90% of the time."
+//
+// One program writes `vm save` down a terminal per node; the cumulative
+// dispatch skew races the guests' TCP retry budget. We sweep the virtual
+// cluster size and report the checkpoint failure rate.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "scenario.hpp"
+
+namespace {
+
+using namespace dvc;          // NOLINT
+using namespace dvc::bench;   // NOLINT
+
+struct TrialOutcome {
+  bool failed = false;
+  double skew_s = 0.0;
+  double save_s = 0.0;
+};
+
+TrialOutcome run_trial(std::uint32_t nodes, std::uint64_t seed) {
+  VcScenario sc(paper_substrate(nodes, seed), /*guest_ram=*/1ull << 30,
+                steady_ptrans(nodes, 100000), calibrated_transport());
+  ckpt::NaiveLscCoordinator lsc(sc.room.sim, {}, sim::Rng(seed ^ 0x17A));
+  std::optional<ckpt::LscResult> result;
+  sc.room.sim.schedule_after(2 * sim::kSecond, [&] {
+    sc.room.dvc->checkpoint_vc(*sc.vc, lsc,
+                               [&](ckpt::LscResult r) { result = r; });
+  });
+  // Run until the outcome is decided: either the application died, or the
+  // checkpoint sealed and a grace period (longer than the retry budget)
+  // passed without an abort.
+  const sim::Duration grace = 15 * sim::kSecond;
+  sim::Time decided_at = 0;
+  while (sc.room.sim.now() < 1000 * sim::kSecond) {
+    sc.room.sim.run_until(sc.room.sim.now() + sim::kSecond);
+    if (result.has_value()) {
+      if (decided_at == 0) decided_at = sc.room.sim.now();
+      if (sc.application->failed() ||
+          sc.room.sim.now() - decided_at > grace) {
+        break;
+      }
+    }
+  }
+  TrialOutcome out;
+  out.failed = sc.application->failed() ||
+               (result.has_value() && !result->ok) || !result.has_value();
+  if (result.has_value()) {
+    out.skew_s = sim::to_seconds(result->pause_skew);
+    out.save_s = sim::to_seconds(result->total_time);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr int kTrials = 60;
+  const std::uint32_t node_counts[] = {2, 4, 6, 8, 10, 12};
+
+  std::printf("T1: naive LSC — parallel `vm save` over terminal fan-out\n");
+  std::printf("    (paper: ok through 8 nodes, 50%% fail @ 10, 90%% @ 12)\n");
+
+  TextTable table({"nodes", "trials", "failure rate", "paper", "mean skew (s)",
+                   "mean ckpt time (s)"});
+  std::vector<MetricRow> rows;
+  for (const std::uint32_t n : node_counts) {
+    int failures = 0;
+    sim::SummaryStats skew;
+    sim::SummaryStats save;
+    for (int t = 0; t < kTrials; ++t) {
+      const TrialOutcome out =
+          run_trial(n, 1000ull * n + static_cast<std::uint64_t>(t));
+      failures += out.failed ? 1 : 0;
+      if (out.skew_s > 0) skew.add(out.skew_s);
+      if (out.save_s > 0) save.add(out.save_s);
+    }
+    const double rate = static_cast<double>(failures) / kTrials;
+    const char* paper = n <= 8 ? "~0%" : (n == 10 ? "50%" : "90%");
+    table.add_row({std::to_string(n), std::to_string(kTrials),
+                   fmt_pct(rate), paper, fmt(skew.mean()),
+                   fmt(save.mean(), 1)});
+    MetricRow row;
+    row.name = "naive_lsc/nodes:" + std::to_string(n);
+    row.counters = {{"failure_rate", rate},
+                    {"mean_skew_s", skew.mean()},
+                    {"mean_ckpt_s", save.mean()}};
+    rows.push_back(std::move(row));
+  }
+  table.print("T1  naive LSC failure rate vs. cluster size");
+
+  register_metric_rows(rows);
+  return run_benchmark_suite(argc, argv);
+}

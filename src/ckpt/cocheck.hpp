@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "app/workload.hpp"
+#include "ckpt/methods.hpp"
+#include "sim/simulation.hpp"
+#include "storage/image_manager.hpp"
+
+namespace dvc::ckpt {
+
+/// The §2.1 baseline, implemented: CoCheck/BLCR-style *user-level* parallel
+/// checkpointing. The application must be re-linked against a checkpoint
+/// library; at checkpoint time the library parks every rank at a safe
+/// point, lets the network drain (the "consistent cut" is produced by
+/// cooperation, not by freezing guests), then writes each process image.
+///
+/// Contrast with LSC: no hypervisor, smaller images (process, not guest),
+/// but the application must cooperate — exactly the restriction DVC's
+/// transparency removes. The quiesce takes application-timescale time
+/// (up to a full iteration) instead of clock-skew time.
+class CocheckCoordinator final {
+ public:
+  struct Config {
+    /// Library handshake latency per rank (signal + safe-point check).
+    sim::Duration agent_latency = 5 * sim::kMillisecond;
+    /// Drain poll period while waiting for in-flight traffic to land.
+    sim::Duration drain_poll = 20 * sim::kMillisecond;
+    /// Give up if the job has not parked and drained by then.
+    sim::Duration quiesce_timeout = 10 * sim::kMinute;
+  };
+
+  struct Result {
+    bool ok = false;
+    sim::Duration quiesce_time = 0;  ///< request -> parked + drained
+    sim::Duration write_time = 0;    ///< process images -> durable
+    sim::Duration total_time = 0;
+    std::uint64_t bytes_written = 0;
+    storage::CheckpointSetId set = storage::kInvalidCheckpointSet;
+  };
+
+  explicit CocheckCoordinator(sim::Simulation& sim) : sim_(&sim) {}
+  CocheckCoordinator(sim::Simulation& sim, Config cfg)
+      : sim_(&sim), cfg_(cfg) {}
+
+  /// Checkpoints a running application: park, drain, write, resume.
+  /// The guest VMs never pause — the *application* does.
+  void checkpoint(app::ParallelApp& application,
+                  const vm::GuestConfig& guest,
+                  storage::ImageManager& images,
+                  std::function<void(Result)> done);
+
+ private:
+  sim::Simulation* sim_;
+  Config cfg_{};
+};
+
+}  // namespace dvc::ckpt

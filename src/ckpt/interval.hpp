@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace dvc::ckpt {
+
+/// Classic checkpoint-interval theory (Young 1974, Daly 2006), provided so
+/// a DVC deployment can pick its RecoveryPolicy::interval from measured
+/// quantities instead of folklore. `abl10_interval` validates these
+/// closed forms against the simulator.
+
+/// Young's first-order optimum: T = sqrt(2 * C * MTBF), where C is the
+/// cost of one checkpoint and MTBF the *system* mean time between
+/// failures (per-node MTBF divided by the node count the job occupies).
+[[nodiscard]] inline sim::Duration young_interval(
+    sim::Duration checkpoint_cost, sim::Duration system_mtbf) noexcept {
+  const double c = sim::to_seconds(checkpoint_cost);
+  const double m = sim::to_seconds(system_mtbf);
+  if (c <= 0.0 || m <= 0.0) return 0;
+  return sim::from_seconds(std::sqrt(2.0 * c * m));
+}
+
+/// Daly's higher-order refinement of Young's formula (valid for C < 2M):
+/// T = sqrt(2 C M) * (1 + sqrt(C / (18 M)) + C / (18 M)... ) - C, using
+/// the common second-order form.
+[[nodiscard]] inline sim::Duration daly_interval(
+    sim::Duration checkpoint_cost, sim::Duration system_mtbf) noexcept {
+  const double c = sim::to_seconds(checkpoint_cost);
+  const double m = sim::to_seconds(system_mtbf);
+  if (c <= 0.0 || m <= 0.0) return 0;
+  if (c >= 2.0 * m) return sim::from_seconds(m);  // checkpoint constantly
+  const double root = std::sqrt(2.0 * c * m);
+  const double t =
+      root * (1.0 + std::sqrt(c / (18.0 * m)) / 3.0 + c / (18.0 * m)) - c;
+  return sim::from_seconds(t > 0.0 ? t : c);
+}
+
+/// Expected wall time to finish `work_s` of useful compute under an
+/// exponential failure process (rate 1/mtbf_s), checkpointing every
+/// `interval_s` at cost `ckpt_cost_s`, with `restart_cost_s` to come back
+/// after a failure (detection + staging + restore). First-order model:
+/// each failure loses on average half an interval plus the restart cost.
+[[nodiscard]] inline double expected_runtime_s(double work_s,
+                                               double ckpt_cost_s,
+                                               double restart_cost_s,
+                                               double mtbf_s,
+                                               double interval_s) noexcept {
+  if (interval_s <= 0.0 || mtbf_s <= 0.0) return work_s;
+  // Useful-time dilation from checkpointing.
+  const double dilated = work_s * (interval_s + ckpt_cost_s) / interval_s;
+  // Failures arrive over the whole dilated span; each costs the rework of
+  // half a (dilated) interval plus the restart.
+  const double failures = dilated / mtbf_s;
+  const double per_failure =
+      0.5 * (interval_s + ckpt_cost_s) + restart_cost_s;
+  return dilated + failures * per_failure;
+}
+
+}  // namespace dvc::ckpt

@@ -1,0 +1,180 @@
+#include "ckpt/lsc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dvc::ckpt {
+
+// ---------------------------------------------------------------------------
+// RoundTracker
+
+RoundTracker::RoundTracker(sim::Simulation& sim,
+                           std::vector<SaveTarget> targets,
+                           storage::ImageManager& images, std::string label,
+                           std::function<void(LscResult)> done,
+                           int attempt_no, bool resume_after_save)
+    : sim_(&sim),
+      targets_(std::move(targets)),
+      images_(&images),
+      set_(images.open_set(std::move(label), targets_.size())),
+      done_(std::move(done)),
+      outstanding_(targets_.size()),
+      resume_after_save_(resume_after_save) {
+  result_.set = set_;
+  result_.attempts = attempt_no;
+  result_.app_snapshots.resize(targets_.size());
+}
+
+void RoundTracker::fire(std::size_t i) {
+  SaveTarget& t = targets_.at(i);
+  // The durable callback arrives long after the firing event has been
+  // destroyed; it must own the round.
+  t.hypervisor->save_domain(
+      *t.machine, *images_, set_, t.member,
+      [self = shared_from_this(), i](bool ok, std::any state) {
+        self->on_member_durable(i, ok, std::move(state));
+      },
+      t.incremental);
+}
+
+void RoundTracker::on_member_durable(std::size_t i, bool ok,
+                                     std::any state) {
+  SaveTarget& t = targets_[i];
+  if (ok) {
+    const sim::Time paused_at = t.machine->last_pause_started();
+    if (!saw_pause_) {
+      first_pause_ = last_pause_ = paused_at;
+      saw_pause_ = true;
+    } else {
+      first_pause_ = std::min(first_pause_, paused_at);
+      last_pause_ = std::max(last_pause_, paused_at);
+    }
+    result_.app_snapshots[i] = std::move(state);
+    if (resume_after_save_) {
+      // Stop-and-copy: the guest thaws the moment its image is durable.
+      t.hypervisor->resume_domain(*t.machine);
+    }
+  } else {
+    any_failed_ = true;
+  }
+  if (--outstanding_ == 0) finish();
+}
+
+void RoundTracker::finish() {
+  result_.ok = !any_failed_;
+  if (any_failed_) {
+    images_->abort_set(set_);
+  }
+  if (saw_pause_) {
+    result_.pause_skew = last_pause_ - first_pause_;
+    result_.total_time = sim_->now() - first_pause_;
+  }
+  if (done_) done_(result_);
+}
+
+// ---------------------------------------------------------------------------
+// NaiveLscCoordinator
+
+void NaiveLscCoordinator::checkpoint(std::string label,
+                                     std::vector<SaveTarget> targets,
+                                     storage::ImageManager& images,
+                                     std::function<void(LscResult)> done,
+                                     bool resume_after_save) {
+  if (targets.empty()) throw std::invalid_argument("no targets");
+  auto round = std::make_shared<RoundTracker>(
+      *sim_, std::move(targets), images, std::move(label), std::move(done),
+      /*attempt_no=*/1, resume_after_save);
+  // The controlling program writes `vm save` down one terminal after
+  // another; each write costs a dispatch delay, so the k-th guest's save
+  // command lands ~k dispatch-delays after the first. That cumulative skew
+  // is what kills this design at scale.
+  sim::Duration t = 0;
+  const std::size_t n = round->targets().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    t += cfg_.dispatch_base + rng_.exponential_duration(cfg_.dispatch_jitter);
+    sim_->schedule_after(t, [round, i] { round->fire(i); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NtpLscCoordinator
+
+void NtpLscCoordinator::checkpoint(std::string label,
+                                   std::vector<SaveTarget> targets,
+                                   storage::ImageManager& images,
+                                   std::function<void(LscResult)> done,
+                                   bool resume_after_save) {
+  if (targets.empty()) throw std::invalid_argument("no targets");
+  for (const SaveTarget& t : targets) {
+    if (t.clock == nullptr) {
+      throw std::invalid_argument("ntp lsc requires a host clock per target");
+    }
+  }
+  attempt(std::move(label), std::move(targets), images, 1, std::move(done),
+          resume_after_save);
+}
+
+void NtpLscCoordinator::attempt(std::string label,
+                                std::vector<SaveTarget> targets,
+                                storage::ImageManager& images,
+                                int attempt_no,
+                                std::function<void(LscResult)> done,
+                                bool resume_after_save) {
+  // The coordinator publishes one *local wall-clock* instant T; each agent
+  // converts T to its own timeline. Host-clock error and timer jitter are
+  // the only skew sources left.
+  const sim::Time t_local =
+      targets.front().clock->local_now() + cfg_.lead_time;
+
+  // Sample each agent's scheduling fate for this round up front (whether
+  // the host is too loaded to service the timer promptly).
+  std::vector<sim::Duration> delay(targets.size());
+  bool any_stalled = false;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    delay[i] = rng_.exponential_duration(cfg_.sched_jitter);
+    if (cfg_.stall_prob > 0.0 && rng_.chance(cfg_.stall_prob)) {
+      delay[i] += rng_.exponential_duration(cfg_.stall_mean);
+      any_stalled = true;
+    }
+  }
+
+  if (cfg_.health_check && any_stalled) {
+    // Future-work robustness (§4): the pre-deadline health check notices
+    // the starved agent and abandons the round before any guest freezes.
+    if (attempt_no >= cfg_.max_attempts) {
+      LscResult r;
+      r.ok = false;
+      r.aborted_cleanly = true;
+      r.attempts = attempt_no;
+      sim_->schedule_after(cfg_.lead_time - cfg_.health_check_lead,
+                           [done = std::move(done), r] {
+                             if (done) done(r);
+                           });
+      return;
+    }
+    sim_->schedule_after(
+        cfg_.lead_time - cfg_.health_check_lead,
+        [this, label = std::move(label), targets = std::move(targets),
+         &images, attempt_no, done = std::move(done),
+         resume_after_save]() mutable {
+          attempt(std::move(label), std::move(targets), images,
+                  attempt_no + 1, std::move(done), resume_after_save);
+        });
+    return;
+  }
+
+  auto round = std::make_shared<RoundTracker>(
+      *sim_, std::move(targets), images, std::move(label), std::move(done),
+      attempt_no, resume_after_save);
+  const std::size_t n = round->targets().size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const clocksync::HostClock& clock = *round->targets()[i].clock;
+    // The agent's microsecond timer fires when *its* clock reads T.
+    const sim::Time fire_at = clock.to_sim(t_local) + delay[i];
+    sim_->schedule_at(fire_at, [round, i] { round->fire(i); });
+  }
+}
+
+}  // namespace dvc::ckpt

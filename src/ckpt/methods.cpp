@@ -1,0 +1,86 @@
+#include "ckpt/methods.hpp"
+
+namespace dvc::ckpt {
+
+namespace {
+// Process-image overheads beyond the application's working set: code,
+// heap slack, libraries for a user-level image; plus in-kernel state
+// (socket buffers, page tables, file table) for a kernel-level image.
+constexpr std::uint64_t kProcessOverheadBytes = 96ull << 20;
+constexpr std::uint64_t kKernelOverheadBytes = 64ull << 20;
+}  // namespace
+
+MethodProfile profile(MethodKind kind) noexcept {
+  switch (kind) {
+    case MethodKind::kApplication:
+      return {kind, "application", false, false, true, true, false};
+    case MethodKind::kUserLevel:
+      return {kind, "user-level", false, true, false, false, false};
+    case MethodKind::kKernelLevel:
+      return {kind, "kernel-level", true, false, false, false, true};
+    case MethodKind::kVmLevel:
+      return {kind, "vm-level (DVC)", true, false, false, true, true};
+  }
+  return {kind, "unknown", false, false, false, false, false};
+}
+
+Footprint footprint(MethodKind kind, const app::WorkloadSpec& spec,
+                    const vm::GuestConfig& guest) noexcept {
+  Footprint f;
+  switch (kind) {
+    case MethodKind::kApplication:
+      f.bytes = spec.working_set_bytes_per_rank;
+      f.applicable = spec.supports_app_checkpoint;
+      break;
+    case MethodKind::kUserLevel:
+      f.bytes = spec.working_set_bytes_per_rank + kProcessOverheadBytes;
+      // Without CoCheck/BLCR-style network interception, a user-level
+      // library cannot produce a consistent cut of a parallel job (§2.1).
+      f.applicable = spec.ranks == 1;
+      break;
+    case MethodKind::kKernelLevel:
+      f.bytes = spec.working_set_bytes_per_rank + kProcessOverheadBytes +
+                kKernelOverheadBytes;
+      f.applicable = spec.ranks == 1;
+      break;
+    case MethodKind::kVmLevel:
+      // The whole guest: every page the guest kernel considers in use,
+      // regardless of what the application actually needs.
+      f.bytes = guest.ram_bytes;
+      f.applicable = true;
+      break;
+  }
+  return f;
+}
+
+Footprint measured_footprint(MethodKind kind, const app::WorkloadSpec& spec,
+                             const vm::GuestConfig& guest,
+                             const vm::GuestOs& os, vm::Pid pid) {
+  Footprint f = footprint(kind, spec, guest);  // applicability rules
+  switch (kind) {
+    case MethodKind::kApplication:
+      f.bytes = os.app_level_bytes(pid);
+      break;
+    case MethodKind::kUserLevel:
+      f.bytes = os.user_level_bytes(pid);
+      break;
+    case MethodKind::kKernelLevel:
+      f.bytes = os.kernel_level_bytes(pid);
+      break;
+    case MethodKind::kVmLevel:
+      // A stop-and-copy save writes all of guest RAM; the guest's resident
+      // set is what a ballooned save could shrink it to.
+      f.bytes = guest.ram_bytes;
+      break;
+  }
+  return f;
+}
+
+sim::Duration estimate_time(const Footprint& f,
+                            double bytes_per_second) noexcept {
+  if (!f.applicable || bytes_per_second <= 0.0) return 0;
+  return static_cast<sim::Duration>(static_cast<double>(f.bytes) /
+                                    bytes_per_second * sim::kSecond);
+}
+
+}  // namespace dvc::ckpt

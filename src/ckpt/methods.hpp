@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "app/workload.hpp"
+#include "sim/time.hpp"
+#include "vm/guest_os.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace dvc::ckpt {
+
+/// The paper's taxonomy of checkpointing approaches (§2), plus the
+/// VM-level approach DVC adds on top.
+enum class MethodKind : std::uint8_t {
+  kApplication,  ///< app saves only what it needs (fastest, most intrusive)
+  kUserLevel,    ///< libckpt-style: full process image, needs re-linking
+  kKernelLevel,  ///< CRAK-style: full process image, kernel module
+  kVmLevel,      ///< DVC: whole guest OS image, fully transparent
+};
+
+/// Qualitative properties of a method, matching §2's discussion.
+struct MethodProfile {
+  MethodKind kind;
+  std::string_view name;
+  bool transparent_to_app;   ///< no source/app involvement at all
+  bool requires_relink;      ///< must link against a checkpoint library
+  bool requires_app_code;    ///< programmer writes checkpoint support
+  bool handles_parallel;     ///< can checkpoint co-dependent MPI ranks
+  bool saves_kernel_state;   ///< sockets/files survive without tricks
+};
+
+[[nodiscard]] MethodProfile profile(MethodKind kind) noexcept;
+
+/// Size/time footprint of checkpointing ONE rank of a workload with a
+/// given method. Sizes follow §2's ordering: application < user-level
+/// (whole process) < kernel-level (+ kernel buffers) < VM (whole guest).
+struct Footprint {
+  std::uint64_t bytes = 0;
+  /// Whether the method can checkpoint this workload at all (application-
+  /// level requires the app to ship checkpoint code; user/kernel level
+  /// cannot cut parallel network state without extra machinery).
+  bool applicable = true;
+};
+
+[[nodiscard]] Footprint footprint(MethodKind kind,
+                                  const app::WorkloadSpec& spec,
+                                  const vm::GuestConfig& guest) noexcept;
+
+/// Measured variant: sizes read out of a live guest's process table
+/// (GuestOs) instead of the parametric model — the §2 accounting made
+/// concrete. Applicability rules are shared with the model.
+[[nodiscard]] Footprint measured_footprint(MethodKind kind,
+                                           const app::WorkloadSpec& spec,
+                                           const vm::GuestConfig& guest,
+                                           const vm::GuestOs& os,
+                                           vm::Pid pid);
+
+/// Time to write one rank's checkpoint at the given storage bandwidth
+/// share, plus the method's fixed coordination overhead.
+[[nodiscard]] sim::Duration estimate_time(const Footprint& f,
+                                          double bytes_per_second) noexcept;
+
+inline constexpr MethodKind kAllMethods[] = {
+    MethodKind::kApplication,
+    MethodKind::kUserLevel,
+    MethodKind::kKernelLevel,
+    MethodKind::kVmLevel,
+};
+
+}  // namespace dvc::ckpt

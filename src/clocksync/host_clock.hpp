@@ -1,0 +1,86 @@
+#pragma once
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace dvc::clocksync {
+
+/// A physical host's local wall clock: an imperfect oscillator with a fixed
+/// frequency error (drift, in parts per million) and a settable phase offset.
+///
+/// Simulated time (`Simulation::now()`) plays the role of ideal "true" time
+/// (what a perfect NTP stratum-0 source would report); each host only ever
+/// observes its own `local_now()`. NTP-style synchronisation measures and
+/// corrects the phase offset but cannot remove delay-asymmetry error — which
+/// is exactly the "few milliseconds" residual the paper's LSC relies on.
+class HostClock final {
+ public:
+  /// Creates a clock reading `initial_offset` ahead of true time and running
+  /// fast by `drift_ppm` parts per million (negative = slow).
+  HostClock(const sim::Simulation& sim, sim::Duration initial_offset,
+            double drift_ppm) noexcept
+      : sim_(&sim),
+        base_sim_(sim.now()),
+        base_local_(sim.now() + initial_offset),
+        drift_ppm_(drift_ppm) {}
+
+  /// The host's current local wall-clock reading.
+  [[nodiscard]] sim::Time local_now() const noexcept {
+    return to_local(sim_->now());
+  }
+
+  /// Maps a true (simulated) time to this host's local reading of it.
+  [[nodiscard]] sim::Time to_local(sim::Time sim_time) const noexcept {
+    const sim::Duration dt = sim_time - base_sim_;
+    return base_local_ + dt + drift_ticks(dt);
+  }
+
+  /// Maps a local wall-clock target back to true (simulated) time — i.e.
+  /// the instant at which this host's clock will read `local`. Used to
+  /// schedule "fire at local time T" actions on the event queue.
+  [[nodiscard]] sim::Time to_sim(sim::Time local) const noexcept {
+    const double dt_local = static_cast<double>(local - base_local_);
+    const double dt = dt_local / (1.0 + drift_ppm_ * 1e-6);
+    return base_sim_ + static_cast<sim::Duration>(dt);
+  }
+
+  /// Applies an instantaneous phase correction (NTP step/slew endpoint).
+  void apply_correction(sim::Duration delta) noexcept {
+    // Re-anchor at the current instant so drift continues from here.
+    const sim::Time now_local = local_now();
+    base_sim_ = sim_->now();
+    base_local_ = now_local + delta;
+  }
+
+  /// Adjusts the oscillator's frequency by `delta_ppm` (NTP's FLL/PLL
+  /// discipline: phase steps remove the offset, frequency corrections
+  /// remove its cause).
+  void apply_frequency_correction(double delta_ppm) noexcept {
+    // Re-anchor so past time keeps its old rate; only the future changes.
+    const sim::Time now_local = local_now();
+    base_sim_ = sim_->now();
+    base_local_ = now_local;
+    drift_ppm_ += delta_ppm;
+  }
+
+  /// True phase error right now: local reading minus true time. Only test
+  /// and measurement code may call this; protocol code must not peek.
+  [[nodiscard]] sim::Duration offset_error() const noexcept {
+    return local_now() - sim_->now();
+  }
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  [[nodiscard]] sim::Duration drift_ticks(sim::Duration dt) const noexcept {
+    return static_cast<sim::Duration>(static_cast<double>(dt) * drift_ppm_ *
+                                      1e-6);
+  }
+
+  const sim::Simulation* sim_;
+  sim::Time base_sim_;
+  sim::Time base_local_;
+  double drift_ppm_;
+};
+
+}  // namespace dvc::clocksync

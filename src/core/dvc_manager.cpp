@@ -1,0 +1,618 @@
+#include "core/dvc_manager.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dvc::core {
+
+namespace {
+/// Time from a node dying to the DVC monitor noticing (heartbeat period).
+constexpr sim::Duration kFailureDetectionDelay = 1 * sim::kSecond;
+/// Backoff before retrying a recovery that could not find nodes.
+constexpr sim::Duration kRecoveryRetryDelay = 30 * sim::kSecond;
+}  // namespace
+
+DvcManager::DvcManager(sim::Simulation& sim, hw::Fabric& fabric,
+                       vm::HypervisorFleet& fleet,
+                       storage::ImageManager& images,
+                       clocksync::ClusterTimeService& time)
+    : sim_(&sim),
+      fabric_(&fabric),
+      fleet_(&fleet),
+      images_(&images),
+      time_(&time) {
+  if (time.size() < fabric.node_count()) {
+    throw std::invalid_argument(
+        "time service must cover every fabric node (clock per NodeId)");
+  }
+  fabric.subscribe_failures([this](hw::NodeId n) { on_node_failure(n); });
+  fabric.subscribe_predictions([this](hw::NodeId n, sim::Duration lead) {
+    on_failure_prediction(n, lead);
+  });
+}
+
+std::optional<std::vector<hw::NodeId>> DvcManager::pick_nodes(
+    std::uint32_t count) const {
+  auto free_in = [this](hw::ClusterId c) {
+    std::vector<hw::NodeId> out;
+    for (const hw::NodeId n : fabric_->healthy_nodes(c)) {
+      if (!claimed_.contains(n) && !fabric_->condemned(n)) out.push_back(n);
+    }
+    return out;
+  };
+  // Pack into one physical cluster when possible; otherwise span — the
+  // remapping freedom of figure 1.
+  for (hw::ClusterId c = 0; c < fabric_->cluster_count(); ++c) {
+    auto avail = free_in(c);
+    if (avail.size() >= count) {
+      avail.resize(count);
+      return avail;
+    }
+  }
+  std::vector<hw::NodeId> spanned;
+  for (hw::ClusterId c = 0; c < fabric_->cluster_count(); ++c) {
+    for (const hw::NodeId n : free_in(c)) {
+      if (spanned.size() == count) break;
+      spanned.push_back(n);
+    }
+  }
+  if (spanned.size() < count) return std::nullopt;
+  return spanned;
+}
+
+VirtualCluster& DvcManager::create_vc(VcSpec spec,
+                                      std::vector<hw::NodeId> placement,
+                                      std::function<void()> on_ready) {
+  if (placement.size() != spec.size) {
+    throw std::invalid_argument("placement size != vc size");
+  }
+  const VcId id = next_vc_++;
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
+             "provisioning vc#" + std::to_string(id) + " (" +
+                 std::to_string(placement.size()) + " guests)");
+  VcRuntime rt;
+  rt.vc = std::make_unique<VirtualCluster>(*sim_, fabric_->network(), id,
+                                           std::move(spec));
+  VirtualCluster& vc = *rt.vc;
+  vc.placement_ = std::move(placement);
+  vc.instantiations_ = 1;
+  claim(vc);
+  vcs_.emplace(id, std::move(rt));
+
+  auto booted = std::make_shared<std::uint32_t>(0);
+  const std::uint32_t n = vc.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fleet_->on_node(vc.placement(i))
+        .boot_domain(vc.machine(i),
+                     [&vc, booted, n, cb = on_ready] {
+                       if (++*booted == n) {
+                         vc.state_ = VcState::kRunning;
+                         if (cb) cb();
+                       }
+                     });
+  }
+  return vc;
+}
+
+void DvcManager::destroy_vc(VirtualCluster& vc) {
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    if (vc.placement(i) != hw::kInvalidNode) {
+      fleet_->on_node(vc.placement(i)).destroy_domain(vc.machine(i));
+    }
+  }
+  unclaim(vc);
+  vc.state_ = VcState::kDestroyed;
+  vcs_.erase(vc.id());  // destroys the VirtualCluster and its VMs
+}
+
+void DvcManager::attach_app(VirtualCluster& vc,
+                            app::ParallelApp& application) {
+  if (application.size() != vc.size()) {
+    throw std::invalid_argument("app rank count != vc size");
+  }
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    vc.machine(i).set_guest_software(&application.rank(i));
+  }
+  vcs_.at(vc.id()).app = &application;
+}
+
+std::vector<ckpt::SaveTarget> DvcManager::save_targets(VirtualCluster& vc) {
+  std::vector<ckpt::SaveTarget> targets;
+  targets.reserve(vc.size());
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    const hw::NodeId node = vc.placement(i);
+    targets.push_back(ckpt::SaveTarget{&fleet_->on_node(node),
+                                       &vc.machine(i), &time_->clock(node),
+                                       i});
+  }
+  return targets;
+}
+
+void DvcManager::checkpoint_vc(VirtualCluster& vc,
+                               ckpt::LscCoordinator& lsc,
+                               std::function<void(ckpt::LscResult)> done,
+                               bool incremental) {
+  vc.state_ = VcState::kCheckpointing;
+  std::vector<ckpt::SaveTarget> targets = save_targets(vc);
+  // An incremental round needs a baseline on every member.
+  bool can_increment = incremental;
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    can_increment = can_increment && vc.machine(i).has_image_baseline();
+  }
+  for (auto& t : targets) t.incremental = can_increment;
+  lsc.checkpoint(
+      vc.checkpoint_label(), std::move(targets), *images_,
+      [this, &vc, can_increment, cb = std::move(done)](ckpt::LscResult r) {
+        if (vc.state_ == VcState::kCheckpointing) {
+          vc.state_ = VcState::kRunning;
+        }
+        if (r.ok) {
+          ++checkpoints_;
+          sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
+                     "vc#" + std::to_string(vc.id()) + " checkpoint " +
+                         (can_increment ? "(incremental) " : "") +
+                         "sealed, skew " +
+                         std::to_string(sim::to_milliseconds(r.pause_skew)) +
+                         " ms");
+          vc.last_checkpoint_ =
+              VcCheckpoint{r.set, r.app_snapshots, sim_->now()};
+          if (can_increment) {
+            vc.checkpoint_chain_.push_back(r.set);
+          } else {
+            vc.checkpoint_chain_ = {r.set};
+          }
+        }
+        if (cb) cb(std::move(r));
+      });
+}
+
+void DvcManager::restore_vc(VirtualCluster& vc,
+                            std::vector<hw::NodeId> new_placement,
+                            std::function<void(bool)> done) {
+  if (!vc.has_checkpoint()) {
+    if (done) done(false);
+    return;
+  }
+  if (new_placement.size() != vc.size()) {
+    throw std::invalid_argument("placement size != vc size");
+  }
+  VcRuntime& rt = vcs_.at(vc.id());
+  vc.state_ = VcState::kRecovering;
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+             "vc#" + std::to_string(vc.id()) +
+                 " rolling back to checkpoint set " +
+                 std::to_string(vc.last_checkpoint_.set));
+
+  // The entire cluster rolls back: freeze survivors, detach everything
+  // from its old node, bump the transport epoch, then restore every member
+  // from the checkpoint set on its new node.
+  if (rt.app != nullptr) rt.app->begin_rollback();
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    vm::VirtualMachine& m = vc.machine(i);
+    if (m.state() == vm::DomainState::kRunning) m.pause();
+    const hw::NodeId old_node = vc.placement(i);
+    if (old_node != hw::kInvalidNode) {
+      fleet_->on_node(old_node).evict(m);
+    }
+  }
+  unclaim(vc);
+  vc.placement_ = std::move(new_placement);
+  claim(vc);
+  ++vc.instantiations_;
+
+  const storage::CheckpointSetId set = vc.last_checkpoint_.set;
+  const auto restore_members = [this, &vc, set,
+                                done = std::move(done)]() {
+    auto remaining = std::make_shared<std::uint32_t>(vc.size());
+    auto all_ok = std::make_shared<bool>(true);
+    for (std::uint32_t i = 0; i < vc.size(); ++i) {
+      fleet_->on_node(vc.placement(i))
+          .restore_domain(vc.machine(i), *images_, set, i,
+                          vc.last_checkpoint_.app_snapshots.at(i),
+                          [&vc, remaining, all_ok, cb = done](bool ok) {
+                            if (!ok) *all_ok = false;
+                            if (--*remaining == 0) {
+                              vc.state_ = *all_ok ? VcState::kRunning
+                                                  : VcState::kProvisioning;
+                              if (cb) cb(*all_ok);
+                            }
+                          });
+    }
+  };
+
+  // Incremental chains first stage every earlier set back to the last
+  // full image; the newest set is staged by restore_domain itself.
+  std::vector<storage::CheckpointSetId> prior_sets = vc.checkpoint_chain_;
+  if (!prior_sets.empty() && prior_sets.back() == set) {
+    prior_sets.pop_back();
+  }
+  if (prior_sets.empty()) {
+    restore_members();
+    return;
+  }
+  auto chain_left = std::make_shared<std::size_t>(prior_sets.size());
+  auto chain_ok = std::make_shared<bool>(true);
+  for (const storage::CheckpointSetId s : prior_sets) {
+    images_->stage_set(s, [&vc, chain_left, chain_ok, restore_members,
+                           done_cb = done](bool ok) {
+      if (!ok) *chain_ok = false;
+      if (--*chain_left == 0) {
+        if (*chain_ok) {
+          restore_members();
+        } else {
+          vc.state_ = VcState::kProvisioning;
+          if (done_cb) done_cb(false);
+        }
+      }
+    });
+  }
+}
+
+void DvcManager::migrate_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
+                            std::vector<hw::NodeId> new_placement,
+                            std::function<void(bool)> done) {
+  vc.state_ = VcState::kMigrating;
+  lsc.checkpoint(
+      vc.checkpoint_label(), save_targets(vc), *images_,
+      [this, &vc, placement = std::move(new_placement),
+       cb = std::move(done)](ckpt::LscResult r) mutable {
+        if (!r.ok) {
+          vc.state_ = VcState::kRunning;
+          if (cb) cb(false);
+          return;
+        }
+        vc.last_checkpoint_ =
+            VcCheckpoint{r.set, r.app_snapshots, sim_->now()};
+        ++migrations_;
+        restore_vc(vc, std::move(placement), std::move(cb));
+      },
+      /*resume_after_save=*/false);
+}
+
+void DvcManager::live_migrate_vc(
+    VirtualCluster& vc, std::vector<hw::NodeId> new_placement,
+    LiveMigrationConfig cfg, std::function<void(LiveMigrationStats)> done) {
+  if (new_placement.size() != vc.size()) {
+    throw std::invalid_argument("placement size != vc size");
+  }
+  vc.state_ = VcState::kMigrating;
+  const std::vector<hw::NodeId> old_placement = vc.placements();
+  // Reserve the targets up front so nothing else lands on them mid-move.
+  for (const hw::NodeId n : new_placement) claimed_[n] = vc.id();
+
+  struct MoveState {
+    LiveMigrationStats stats;
+    std::uint32_t outstanding;
+    sim::Time started;
+    std::vector<hw::NodeId> old_placement;
+    std::vector<hw::NodeId> new_placement;
+    std::function<void(LiveMigrationStats)> done;
+    bool any_failed = false;
+  };
+  auto ms = std::make_shared<MoveState>();
+  ms->outstanding = vc.size();
+  ms->started = sim_->now();
+  ms->old_placement = old_placement;
+  ms->new_placement = new_placement;
+  ms->done = std::move(done);
+
+  const double per_vm_bw = cfg.bandwidth_bps / vc.size();
+  const VcId id = vc.id();
+
+  auto finish_member = [this, ms, id, &vc](std::uint32_t i, bool ok) {
+    if (!ok) ms->any_failed = true;
+    if (--ms->outstanding != 0) return;
+    // Release sources that are not reused as targets.
+    for (const hw::NodeId old : ms->old_placement) {
+      if (std::find(ms->new_placement.begin(), ms->new_placement.end(),
+                    old) == ms->new_placement.end()) {
+        const auto it = claimed_.find(old);
+        if (it != claimed_.end() && it->second == id) claimed_.erase(it);
+      }
+    }
+    ms->stats.ok = !ms->any_failed;
+    ms->stats.total_time = sim_->now() - ms->started;
+    vc.state_ = ms->any_failed ? VcState::kProvisioning : VcState::kRunning;
+    if (ms->stats.ok) ++live_migrations_;
+    if (ms->done) ms->done(ms->stats);
+  };
+
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    vm::VirtualMachine& m = vc.machine(i);
+    const hw::NodeId src = vc.placement(i);
+    const hw::NodeId dst = new_placement[i];
+    // Iterative pre-copy: stream the whole guest while it runs, then
+    // stream what it dirtied meanwhile, and so on until the residual is
+    // small (or we give up and eat a longer stop-and-copy).
+    auto round = std::make_shared<std::function<void(double, int)>>();
+    *round = [this, ms, round, &vc, &m, i, src, dst, per_vm_bw, cfg,
+              finish_member](double residual, int round_no) {
+      if (m.state() == vm::DomainState::kDead ||
+          fabric_->node(dst).failed()) {
+        finish_member(i, false);
+        return;
+      }
+      const double dirty = m.config().dirty_rate_bps;
+      if (residual > static_cast<double>(cfg.stop_copy_threshold) &&
+          round_no < cfg.max_precopy_rounds) {
+        const double t = residual / per_vm_bw;
+        ms->stats.bytes_moved += residual;
+        sim_->schedule_after(sim::from_seconds(t),
+                             [round, residual, t, dirty, round_no] {
+                               const double next = std::min(
+                                   residual, dirty * t);
+                               (*round)(next, round_no + 1);
+                             });
+        return;
+      }
+      // Final stop-and-copy of the residual: the only downtime the guest
+      // sees.
+      m.pause();
+      ms->stats.bytes_moved += residual;
+      const sim::Duration downtime =
+          sim::from_seconds(residual / per_vm_bw) +
+          fleet_->on_node(dst).config().restore_overhead;
+      sim_->schedule_after(downtime, [this, ms, &vc, &m, i, src, dst,
+                                      downtime, finish_member] {
+        if (m.state() == vm::DomainState::kDead ||
+            fabric_->node(dst).failed()) {
+          finish_member(i, false);
+          return;
+        }
+        fleet_->on_node(src).evict(m);
+        fleet_->on_node(dst).adopt(m);
+        vc.placement_[i] = dst;
+        m.resume();
+        ms->stats.max_downtime = std::max(ms->stats.max_downtime, downtime);
+        finish_member(i, true);
+      });
+    };
+    (*round)(static_cast<double>(m.config().ram_bytes), 0);
+  }
+}
+
+void DvcManager::enable_auto_recovery(VirtualCluster& vc,
+                                      RecoveryPolicy policy) {
+  if (policy.coordinator == nullptr) {
+    throw std::invalid_argument("recovery policy needs a coordinator");
+  }
+  vcs_.at(vc.id()).policy = policy;
+  // Take checkpoint #0 right away: a failure in the first interval would
+  // otherwise find nothing to roll back to and lose the whole run.
+  const VcId id = vc.id();
+  sim_->schedule_after(0, [this, id] {
+    const auto it = vcs_.find(id);
+    if (it == vcs_.end() || !it->second.policy) return;
+    VcRuntime& rt = it->second;
+    if (rt.vc->state_ != VcState::kRunning || rt.checkpoint_in_flight) {
+      return;
+    }
+    rt.checkpoint_in_flight = true;
+    checkpoint_vc(*rt.vc, *rt.policy->coordinator,
+                  [this, id](const ckpt::LscResult&) {
+                    const auto cit = vcs_.find(id);
+                    if (cit != vcs_.end()) {
+                      cit->second.checkpoint_in_flight = false;
+                    }
+                  });
+  });
+  schedule_periodic_checkpoint(vc.id());
+}
+
+void DvcManager::disable_auto_recovery(VirtualCluster& vc) {
+  auto it = vcs_.find(vc.id());
+  if (it != vcs_.end()) it->second.policy.reset();
+}
+
+void DvcManager::schedule_periodic_checkpoint(VcId id) {
+  const auto it = vcs_.find(id);
+  if (it == vcs_.end() || !it->second.policy) return;
+  const sim::Duration interval = it->second.policy->interval;
+  // Periodic checkpointing is housekeeping: it protects foreground work
+  // but must not keep the simulation alive once that work is done.
+  sim_->schedule_daemon_after(interval, [this, id] {
+    auto rit = vcs_.find(id);
+    if (rit == vcs_.end() || !rit->second.policy) return;
+    VcRuntime& rt = rit->second;
+    if (rt.vc->state_ == VcState::kRunning && !rt.recovery_in_flight &&
+        !rt.checkpoint_in_flight) {
+      rt.checkpoint_in_flight = true;
+      // Incremental rounds between periodic full images (bounding the
+      // restore chain); pruning only ever happens after a full image so
+      // a live chain is never cut.
+      const bool incremental =
+          rt.policy->incremental &&
+          (++rt.ckpt_round % std::max(rt.policy->full_every, 1)) != 0;
+      checkpoint_vc(
+          *rt.vc, *rt.policy->coordinator,
+          [this, id, incremental](const ckpt::LscResult&) {
+            auto cit = vcs_.find(id);
+            if (cit == vcs_.end()) return;
+            cit->second.checkpoint_in_flight = false;
+            if (cit->second.policy && !incremental) {
+              images_->prune(cit->second.vc->checkpoint_label(),
+                             cit->second.policy->keep_checkpoints);
+            }
+          },
+          incremental);
+    }
+    schedule_periodic_checkpoint(id);
+  });
+}
+
+void DvcManager::on_node_failure(hw::NodeId node) {
+  const auto cit = claimed_.find(node);
+  if (cit == claimed_.end()) return;
+  const VcId id = cit->second;
+  auto it = vcs_.find(id);
+  if (it == vcs_.end()) return;
+  VcRuntime& rt = it->second;
+  if (!rt.policy || rt.recovery_in_flight || !rt.vc->has_checkpoint()) {
+    return;
+  }
+  rt.recovery_in_flight = true;
+  sim_->schedule_after(kFailureDetectionDelay, [this, id] {
+    const auto rit = vcs_.find(id);
+    if (rit != vcs_.end()) recover(rit->second);
+  });
+}
+
+void DvcManager::on_failure_prediction(hw::NodeId node,
+                                       sim::Duration /*lead*/) {
+  const auto cit = claimed_.find(node);
+  if (cit == claimed_.end()) return;
+  const VcId id = cit->second;
+  const auto it = vcs_.find(id);
+  if (it == vcs_.end()) return;
+  VcRuntime& rt = it->second;
+  if (!rt.policy || !rt.policy->proactive_migration ||
+      rt.recovery_in_flight || rt.vc->state_ != VcState::kRunning) {
+    return;
+  }
+
+  // Evacuate: the same mapping with the suspect node swapped for a spare.
+  VirtualCluster& vc = *rt.vc;
+  std::vector<hw::NodeId> placement = vc.placements();
+  hw::NodeId spare = hw::kInvalidNode;
+  for (const hw::NodeId n : fabric_->healthy_nodes()) {
+    if (n == node) continue;
+    if (claimed_.contains(n)) continue;
+    if (fabric_->condemned(n)) continue;  // also under a death sentence
+    spare = n;
+    break;
+  }
+  if (spare == hw::kInvalidNode) return;  // reactive recovery will handle it
+  bool found = false;
+  for (auto& n : placement) {
+    if (n == node) {
+      n = spare;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+
+  rt.recovery_in_flight = true;
+  migrate_vc(vc, *rt.policy->coordinator, std::move(placement),
+             [this, id](bool ok) {
+               const auto rit = vcs_.find(id);
+               if (rit == vcs_.end()) return;
+               rit->second.recovery_in_flight = false;
+               if (ok) {
+                 ++evacuations_;
+                 sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo,
+                            "dvc", "vc#" + std::to_string(id) +
+                                       " evacuated ahead of the fault");
+               } else {
+                 // The fault struck mid-evacuation: fall back to reactive
+                 // rollback from the last durable checkpoint.
+                 rit->second.recovery_in_flight = true;
+                 recover(rit->second);
+               }
+             });
+}
+
+void DvcManager::recover(VcRuntime& rt) {
+  VirtualCluster& vc = *rt.vc;
+  const bool relocate_all = rt.policy && rt.policy->relocate_all;
+
+  // Build the new mapping: keep healthy nodes unless the policy relocates
+  // everything; replace dead (or relinquished) slots from the free pool.
+  std::vector<hw::NodeId> placement(vc.size(), hw::kInvalidNode);
+  std::vector<std::uint32_t> needs_new;
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    const hw::NodeId n = vc.placement(i);
+    if (!relocate_all && n != hw::kInvalidNode && !fabric_->node(n).failed()) {
+      placement[i] = n;
+    } else {
+      needs_new.push_back(i);
+    }
+  }
+  if (!needs_new.empty()) {
+    // Free pool: healthy, not claimed by another VC, not already reused.
+    // When relocating everything, prefer nodes outside the current mapping
+    // ("restart ... on a different set of physical nodes"), falling back
+    // to reuse only if fresh nodes are scarce.
+    const auto build_pool = [&](bool avoid_current) {
+      std::vector<hw::NodeId> pool;
+      for (const hw::NodeId n : fabric_->healthy_nodes()) {
+        const auto c = claimed_.find(n);
+        const bool claimed_by_other =
+            c != claimed_.end() && c->second != vc.id();
+        const bool reused =
+            std::find(placement.begin(), placement.end(), n) !=
+            placement.end();
+        const bool current =
+            avoid_current &&
+            std::find(vc.placement_.begin(), vc.placement_.end(), n) !=
+                vc.placement_.end();
+        if (!claimed_by_other && !reused && !current &&
+            !fabric_->condemned(n)) {
+          pool.push_back(n);
+        }
+      }
+      return pool;
+    };
+    std::vector<hw::NodeId> pool = build_pool(relocate_all);
+    if (relocate_all && pool.size() < needs_new.size()) {
+      pool = build_pool(false);
+    }
+    if (pool.size() < needs_new.size()) {
+      // Not enough spares right now; retry later (a repair or another VC's
+      // teardown may free nodes).
+      const VcId id = vc.id();
+      sim_->schedule_after(kRecoveryRetryDelay, [this, id] {
+        const auto rit = vcs_.find(id);
+        if (rit != vcs_.end()) recover(rit->second);
+      });
+      return;
+    }
+    for (std::size_t k = 0; k < needs_new.size(); ++k) {
+      placement[needs_new[k]] = pool[k];
+    }
+  }
+
+  const VcId id = vc.id();
+  restore_vc(vc, std::move(placement), [this, id](bool ok) {
+    const auto rit = vcs_.find(id);
+    if (rit == vcs_.end()) return;
+    rit->second.recovery_in_flight = false;
+    if (ok) {
+      ++recoveries_;
+      ++rit->second.vc->recoveries_;
+      sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
+                 "vc#" + std::to_string(id) + " recovered");
+    } else {
+      // Staging failed (e.g. another node died mid-restore): try again.
+      rit->second.recovery_in_flight = true;
+      sim_->schedule_after(kRecoveryRetryDelay, [this, id] {
+        const auto r2 = vcs_.find(id);
+        if (r2 != vcs_.end()) recover(r2->second);
+      });
+    }
+  });
+}
+
+void DvcManager::recover_now(VirtualCluster& vc) {
+  VcRuntime& rt = vcs_.at(vc.id());
+  if (rt.recovery_in_flight || !vc.has_checkpoint()) return;
+  rt.recovery_in_flight = true;
+  recover(rt);
+}
+
+void DvcManager::claim(VirtualCluster& vc) {
+  for (const hw::NodeId n : vc.placement_) {
+    if (n != hw::kInvalidNode) claimed_[n] = vc.id();
+  }
+}
+
+void DvcManager::unclaim(VirtualCluster& vc) {
+  for (const hw::NodeId n : vc.placement_) {
+    const auto it = claimed_.find(n);
+    if (it != claimed_.end() && it->second == vc.id()) claimed_.erase(it);
+  }
+}
+
+}  // namespace dvc::core

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "clocksync/ntp.hpp"
+#include "core/virtual_cluster.hpp"
+#include "hw/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+#include "storage/image_manager.hpp"
+#include "vm/hypervisor.hpp"
+
+namespace dvc::core {
+
+/// The Dynamic Virtual Clustering control plane — the paper's primary
+/// contribution. It provisions whole virtual clusters onto physical nodes
+/// (within or across physical clusters), checkpoints them with LSC,
+/// restores or migrates them onto *different* node sets, and recovers them
+/// automatically when a hosting node dies.
+class DvcManager final {
+ public:
+  DvcManager(sim::Simulation& sim, hw::Fabric& fabric,
+             vm::HypervisorFleet& fleet, storage::ImageManager& images,
+             clocksync::ClusterTimeService& time);
+
+  DvcManager(const DvcManager&) = delete;
+  DvcManager& operator=(const DvcManager&) = delete;
+
+  // ---- provisioning ----------------------------------------------------
+
+  /// Picks `count` healthy, unclaimed nodes, preferring to pack into one
+  /// physical cluster and spilling over to others (spanning) if needed.
+  [[nodiscard]] std::optional<std::vector<hw::NodeId>> pick_nodes(
+      std::uint32_t count) const;
+
+  /// Creates a virtual cluster on an explicit placement and boots every
+  /// VM. `on_ready` fires once all guests are running.
+  VirtualCluster& create_vc(VcSpec spec, std::vector<hw::NodeId> placement,
+                            std::function<void()> on_ready);
+
+  /// Tears a VC down and releases its nodes.
+  void destroy_vc(VirtualCluster& vc);
+
+  /// Binds a parallel application to a VC: rank i becomes the guest
+  /// software of member i. The app's contexts must be vc.contexts().
+  void attach_app(VirtualCluster& vc, app::ParallelApp& application);
+
+  // ---- checkpoint / restore / migrate -----------------------------------
+
+  /// Coordinated whole-VC checkpoint via the given LSC implementation.
+  /// On success the set becomes the VC's recovery point. An `incremental`
+  /// checkpoint writes only memory dirtied since each guest's last image;
+  /// restore then stages the whole chain back to the last full image.
+  void checkpoint_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
+                     std::function<void(ckpt::LscResult)> done,
+                     bool incremental = false);
+
+  /// Restores a VC from its last checkpoint onto `new_placement` (which
+  /// may equal, overlap, or be disjoint from the current one). All guests
+  /// roll back to the checkpoint; the attached app resumes from there.
+  void restore_vc(VirtualCluster& vc, std::vector<hw::NodeId> new_placement,
+                  std::function<void(bool)> done);
+
+  /// Whole-VC migration via the checkpoint path (paper §4 future work):
+  /// LSC save-and-hold, then restore on the target nodes. No work is
+  /// lost; the guests experience one freeze of (save + stage + restore)
+  /// duration.
+  void migrate_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
+                  std::vector<hw::NodeId> new_placement,
+                  std::function<void(bool)> done);
+
+  /// Parameters of Xen-style iterative pre-copy live migration.
+  struct LiveMigrationConfig {
+    /// Aggregate host-to-host migration bandwidth shared by the VC's
+    /// members (direct streams, not through the image store).
+    double bandwidth_bps = 250e6;
+    /// Give up pre-copying after this many rounds and stop-and-copy the
+    /// residual (guests that dirty faster than their bandwidth share
+    /// never converge).
+    int max_precopy_rounds = 5;
+    /// Residual below which the final stop-and-copy round is taken.
+    std::uint64_t stop_copy_threshold = 16ull << 20;
+  };
+
+  struct LiveMigrationStats {
+    bool ok = false;
+    sim::Duration total_time = 0;    ///< first round to last resume
+    sim::Duration max_downtime = 0;  ///< worst per-guest freeze
+    double bytes_moved = 0.0;        ///< pre-copy amplification shows here
+  };
+
+  /// Pre-copy live migration (extension): guests keep *running* while
+  /// their memory streams to the target nodes; each is paused only for
+  /// its final residual. Downtime is typically sub-second versus the
+  /// whole save+stage+restore freeze of migrate_vc, at the price of
+  /// re-sending dirtied memory.
+  void live_migrate_vc(VirtualCluster& vc,
+                       std::vector<hw::NodeId> new_placement,
+                       LiveMigrationConfig cfg,
+                       std::function<void(LiveMigrationStats)> done);
+
+  [[nodiscard]] std::uint64_t live_migrations_performed() const noexcept {
+    return live_migrations_;
+  }
+
+  // ---- reliability policy ----------------------------------------------
+
+  struct RecoveryPolicy {
+    /// Checkpoint every `interval` using this coordinator.
+    ckpt::LscCoordinator* coordinator = nullptr;
+    sim::Duration interval = 10 * sim::kMinute;
+    /// Re-place the whole VC on fresh nodes at recovery (true, the paper's
+    /// "restart ... on a different set of physical nodes") or reuse the
+    /// surviving nodes and only replace the dead ones (false).
+    bool relocate_all = false;
+    /// Keep this many sealed sets; older ones are pruned.
+    std::size_t keep_checkpoints = 2;
+    /// Write incremental checkpoints (dirty memory only), with a full
+    /// image every `full_every`-th round to bound the restore chain.
+    bool incremental = false;
+    int full_every = 5;
+    /// React to hardware failure *predictions* by migrating the whole VC
+    /// off the suspect node before it dies (paper §1: "avoidance of job
+    /// failure when hardware faults can be predicted"). Evacuation loses
+    /// no work; reactive recovery loses up to one checkpoint interval.
+    bool proactive_migration = false;
+  };
+
+  /// Arms periodic checkpointing and automatic failure recovery for a VC.
+  void enable_auto_recovery(VirtualCluster& vc, RecoveryPolicy policy);
+
+  /// Stops the periodic checkpointing loop for a VC.
+  void disable_auto_recovery(VirtualCluster& vc);
+
+  /// Rolls a VC back to its last checkpoint immediately — the hook for
+  /// callers that detect *application-level* failure themselves (the
+  /// paper's "software errors" case; node death is handled automatically).
+  void recover_now(VirtualCluster& vc);
+
+  // ---- introspection -----------------------------------------------------
+
+  [[nodiscard]] std::uint64_t recoveries_performed() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::uint64_t migrations_performed() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t evacuations_performed() const noexcept {
+    return evacuations_;
+  }
+  [[nodiscard]] storage::ImageManager& images() noexcept { return *images_; }
+  [[nodiscard]] hw::Fabric& fabric() noexcept { return *fabric_; }
+
+  /// Nodes currently claimed by any live VC.
+  [[nodiscard]] const std::map<hw::NodeId, VcId>& claims() const noexcept {
+    return claimed_;
+  }
+
+  /// The LSC save-target list for a VC (hypervisor, machine, host clock per
+  /// member). Exposed so benches/tests can drive coordinators directly.
+  [[nodiscard]] std::vector<ckpt::SaveTarget> save_targets(
+      VirtualCluster& vc);
+
+  /// Attaches an optional structured trace sink (null to detach).
+  void set_trace(sim::TraceLog* log) noexcept { trace_ = log; }
+
+ private:
+  struct VcRuntime {
+    std::unique_ptr<VirtualCluster> vc;
+    app::ParallelApp* app = nullptr;
+    std::optional<RecoveryPolicy> policy;
+    bool recovery_in_flight = false;
+    bool checkpoint_in_flight = false;
+    int ckpt_round = 0;
+  };
+
+  void claim(VirtualCluster& vc);
+  void unclaim(VirtualCluster& vc);
+  void on_node_failure(hw::NodeId node);
+  void on_failure_prediction(hw::NodeId node, sim::Duration lead);
+  void recover(VcRuntime& rt);
+  void schedule_periodic_checkpoint(VcId id);
+
+  sim::Simulation* sim_;
+  hw::Fabric* fabric_;
+  vm::HypervisorFleet* fleet_;
+  storage::ImageManager* images_;
+  clocksync::ClusterTimeService* time_;
+  VcId next_vc_ = 1;
+  std::map<VcId, VcRuntime> vcs_;
+  std::map<hw::NodeId, VcId> claimed_;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t evacuations_ = 0;
+  std::uint64_t live_migrations_ = 0;
+  sim::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace dvc::core

@@ -1,0 +1,122 @@
+#include "core/job_runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dvc::core {
+
+VirtualJobRunner::VirtualJobRunner(sim::Simulation& sim,
+                                   rm::Scheduler& scheduler,
+                                   DvcManager& dvc)
+    : sim_(&sim), scheduler_(&scheduler), dvc_(&dvc) {
+  if (scheduler.config().auto_run) {
+    throw std::invalid_argument(
+        "VirtualJobRunner needs a caller-driven scheduler (auto_run off)");
+  }
+  // The runner owns the scheduler's start feed.
+  scheduler_->set_on_start(
+      [this](const rm::JobRecord& rec) { on_job_start(rec); });
+}
+
+rm::JobId VirtualJobRunner::submit(app::WorkloadSpec workload,
+                                   vm::GuestConfig guest,
+                                   hw::ClusterId home_cluster,
+                                   std::function<void(bool)> on_finished) {
+  rm::JobRequest req;
+  req.name = workload.name;
+  req.nodes_requested = workload.ranks;
+  req.home_cluster = home_cluster;
+  // An a-priori runtime estimate (for operator visibility only; the
+  // scheduler is caller-driven).
+  req.node_seconds_work =
+      workload.total_flops() / 10e9;  // vs nominal node speed
+
+  RunningJob job;
+  job.workload = std::move(workload);
+  job.guest = guest;
+  job.reliability = reliability_;
+  job.on_finished = std::move(on_finished);
+  // on_job_start defers provisioning by one event, so installing the
+  // workload right after submit() is always early enough — even when the
+  // scheduler starts the job synchronously inside submit().
+  const rm::JobId id = scheduler_->submit(std::move(req));
+  if (scheduler_->job(id).state == rm::JobState::kFailed) {
+    // Rejected at submit (infeasible rigid request): report it instead of
+    // leaving the submitter waiting forever.
+    ++abandoned_;
+    if (job.on_finished) {
+      sim_->schedule_after(0, [cb = std::move(job.on_finished)] {
+        cb(false);
+      });
+    }
+    return id;
+  }
+  jobs_[id] = std::move(job);
+  return id;
+}
+
+void VirtualJobRunner::on_job_start(const rm::JobRecord& record) {
+  const rm::JobId id = record.id;
+  const std::vector<hw::NodeId> allocation = record.allocation.nodes;
+  // Defer one tick: when a job starts synchronously inside submit(), its
+  // workload entry is only installed right after submit() returns.
+  sim_->schedule_after(0, [this, id, allocation] {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    RunningJob& job = it->second;
+
+    VcSpec spec;
+    spec.name = job.workload.name;
+    spec.size = job.workload.ranks;
+    spec.guest = job.guest;
+    job.vc = &dvc_->create_vc(spec, allocation, [this, id] {
+      const auto jit = jobs_.find(id);
+      if (jit == jobs_.end()) return;
+      RunningJob& j = jit->second;
+      j.application = std::make_unique<app::ParallelApp>(
+          *sim_, dvc_->fabric().network(), j.vc->contexts(), j.workload);
+      dvc_->attach_app(*j.vc, *j.application);
+      j.application->set_on_complete([this, id] { finish(id, true); });
+      if (j.reliability) {
+        DvcManager::RecoveryPolicy policy;
+        policy.coordinator = j.reliability->coordinator;
+        policy.interval = j.reliability->interval;
+        policy.proactive_migration = j.reliability->proactive_migration;
+        policy.incremental = j.reliability->incremental;
+        dvc_->enable_auto_recovery(*j.vc, policy);
+      } else {
+        // Unprotected job: an application failure abandons it.
+        j.application->set_on_failure(
+            [this, id](const std::string&) { finish(id, false); });
+      }
+      j.application->start();
+    });
+  });
+}
+
+void VirtualJobRunner::finish(rm::JobId id, bool completed) {
+  // This fires from deep inside the application's own call stack (a rank
+  // just completed, or a transport endpoint just aborted); tearing the
+  // application down here would free objects still on the stack. Defer
+  // to a fresh event.
+  sim_->schedule_after(0, [this, id, completed] {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    RunningJob job = std::move(it->second);
+    jobs_.erase(it);
+    if (job.vc != nullptr) {
+      dvc_->destroy_vc(*job.vc);  // kills guests; ranks get on_killed
+    }
+    job.application.reset();
+    if (completed) {
+      ++completed_;
+      scheduler_->complete(id);
+    } else {
+      ++abandoned_;
+      scheduler_->fail(id);
+    }
+    if (job.on_finished) job.on_finished(completed);
+  });
+}
+
+}  // namespace dvc::core

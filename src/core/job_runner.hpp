@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "core/dvc_manager.hpp"
+#include "rm/scheduler.hpp"
+
+namespace dvc::core {
+
+/// The glue the paper's §4 names as future work: "integration with
+/// resource managers and schedulers like Torque and Moab."
+///
+/// Jobs are submitted with a *workload* instead of a fixed duration. When
+/// the scheduler starts a job, the runner provisions a virtual cluster on
+/// the allocated nodes, boots it, runs the workload inside, and (if a
+/// reliability policy is given) arms periodic LSC checkpoints with
+/// automatic failure recovery. The scheduler learns about completion when
+/// the application actually finishes — checkpoint stalls, recoveries and
+/// all.
+class VirtualJobRunner final {
+ public:
+  struct Reliability {
+    ckpt::LscCoordinator* coordinator = nullptr;
+    sim::Duration interval = 10 * sim::kMinute;
+    bool proactive_migration = false;
+    bool incremental = false;
+  };
+
+  VirtualJobRunner(sim::Simulation& sim, rm::Scheduler& scheduler,
+                   DvcManager& dvc);
+
+  VirtualJobRunner(const VirtualJobRunner&) = delete;
+  VirtualJobRunner& operator=(const VirtualJobRunner&) = delete;
+
+  /// Submits a workload as a cluster job. The node count comes from the
+  /// workload's rank count. `on_finished(completed)` fires when the
+  /// application completes (true) or is abandoned (false).
+  rm::JobId submit(app::WorkloadSpec workload, vm::GuestConfig guest,
+                   hw::ClusterId home_cluster = 0,
+                   std::function<void(bool)> on_finished = {});
+
+  /// Applies a reliability policy to all jobs submitted afterwards.
+  void set_reliability(std::optional<Reliability> policy) {
+    reliability_ = std::move(policy);
+  }
+
+  [[nodiscard]] std::uint64_t jobs_completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t jobs_abandoned() const noexcept {
+    return abandoned_;
+  }
+
+ private:
+  struct RunningJob {
+    app::WorkloadSpec workload;
+    vm::GuestConfig guest;
+    std::optional<Reliability> reliability;
+    std::function<void(bool)> on_finished;
+    VirtualCluster* vc = nullptr;
+    std::unique_ptr<app::ParallelApp> application;
+  };
+
+  void on_job_start(const rm::JobRecord& record);
+  void finish(rm::JobId id, bool completed);
+
+  sim::Simulation* sim_;
+  rm::Scheduler* scheduler_;
+  DvcManager* dvc_;
+  std::optional<Reliability> reliability_;
+  std::map<rm::JobId, RunningJob> jobs_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t abandoned_ = 0;
+};
+
+}  // namespace dvc::core

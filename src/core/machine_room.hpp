@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "clocksync/ntp.hpp"
+#include "core/dvc_manager.hpp"
+#include "hw/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace.hpp"
+#include "storage/image_manager.hpp"
+#include "storage/shared_store.hpp"
+#include "vm/hypervisor.hpp"
+
+namespace dvc::core {
+
+/// Configuration of a MachineRoom (kept outside the class so it can be
+/// used as a defaulted constructor argument).
+struct MachineRoomOptions {
+  std::uint32_t clusters = 1;
+  std::uint32_t nodes_per_cluster = 4;
+  hw::NodeSpec node_spec{};
+  net::ClusterLinkModel::Config links{};
+  vm::Hypervisor::Config hv{};
+  storage::SharedStore::Config store{};
+  clocksync::ClusterTimeService::Config time{};
+  std::uint64_t seed = 42;
+  bool presync_clocks = true;
+};
+
+/// A complete miniature machine room: simulation kernel, physical fabric,
+/// per-node hypervisors, shared image store, NTP time service and the DVC
+/// control plane — everything a DVC deployment needs, deterministic under
+/// one seed. This is the top-level entry point of the library: examples,
+/// benches and tests all start here.
+struct MachineRoom {
+  using Options = MachineRoomOptions;
+
+  explicit MachineRoom(Options opt = Options())
+      : fabric(sim, hw::Fabric::Config{opt.links, opt.seed}),
+        store(sim, opt.store),
+        images(store) {
+    for (std::uint32_t c = 0; c < opt.clusters; ++c) {
+      fabric.add_cluster("cluster" + std::to_string(c),
+                         opt.nodes_per_cluster, opt.node_spec);
+    }
+    fleet = std::make_unique<vm::HypervisorFleet>(
+        sim, fabric, opt.hv, sim::Rng(opt.seed ^ 0xF1EE7));
+    time = std::make_unique<clocksync::ClusterTimeService>(
+        sim, fabric.node_count(), opt.time, sim::Rng(opt.seed ^ kTimeSalt));
+    if (opt.presync_clocks) {
+      // One immediate burst so experiments can start synchronised, then
+      // ntpd-style periodic polling so long runs stay synchronised.
+      time->sync_all();
+      time->start_periodic();
+    }
+    dvc = std::make_unique<DvcManager>(sim, fabric, *fleet, images, *time);
+    fabric.set_trace(&trace);
+    dvc->set_trace(&trace);
+  }
+
+  sim::Simulation sim;
+  /// Structured operational log (off-echo by default; see sim::TraceLog).
+  sim::TraceLog trace;
+  hw::Fabric fabric;
+  storage::SharedStore store;
+  storage::ImageManager images;
+  std::unique_ptr<vm::HypervisorFleet> fleet;
+  std::unique_ptr<clocksync::ClusterTimeService> time;
+  std::unique_ptr<DvcManager> dvc;
+
+ private:
+  static constexpr std::uint64_t kTimeSalt = 0x71AE5;
+};
+
+}  // namespace dvc::core

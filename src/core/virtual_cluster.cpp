@@ -1,0 +1,36 @@
+#include "core/virtual_cluster.hpp"
+
+namespace dvc::core {
+
+VirtualCluster::VirtualCluster(sim::Simulation& sim, net::Network& net,
+                               VcId id, VcSpec spec)
+    : sim_(&sim), id_(id), spec_(std::move(spec)) {
+  vms_.reserve(spec_.size);
+  for (std::uint32_t i = 0; i < spec_.size; ++i) {
+    const vm::VmId vmid = (id_ << 16) | i;
+    vms_.push_back(
+        std::make_unique<vm::VirtualMachine>(sim, net, vmid, spec_.guest));
+  }
+  placement_.assign(spec_.size, hw::kInvalidNode);
+}
+
+std::vector<vm::ExecutionContext*> VirtualCluster::contexts() {
+  std::vector<vm::ExecutionContext*> out;
+  out.reserve(vms_.size());
+  for (auto& v : vms_) out.push_back(v.get());
+  return out;
+}
+
+bool VirtualCluster::spans_clusters(const hw::Fabric& fabric) const {
+  if (placement_.empty() || placement_.front() == hw::kInvalidNode) {
+    return false;
+  }
+  const hw::ClusterId first = fabric.node(placement_.front()).cluster();
+  for (const hw::NodeId n : placement_) {
+    if (n == hw::kInvalidNode) continue;
+    if (fabric.node(n).cluster() != first) return true;
+  }
+  return false;
+}
+
+}  // namespace dvc::core

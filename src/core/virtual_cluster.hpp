@@ -1,0 +1,126 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "storage/image_manager.hpp"
+#include "vm/execution_context.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace dvc::core {
+
+/// Identifier of a virtual cluster.
+using VcId = std::uint64_t;
+
+/// What a virtual cluster should look like, independent of where it runs.
+struct VcSpec {
+  std::string name = "vc";
+  std::uint32_t size = 1;
+  vm::GuestConfig guest;
+};
+
+enum class VcState : std::uint8_t {
+  kProvisioning,
+  kRunning,
+  kCheckpointing,
+  kRecovering,
+  kMigrating,
+  kDestroyed,
+};
+
+/// The last durable coordinated checkpoint of a virtual cluster: the
+/// sealed image set plus the guest-software snapshots captured with it.
+struct VcCheckpoint {
+  storage::CheckpointSetId set = storage::kInvalidCheckpointSet;
+  std::vector<std::any> app_snapshots;
+  sim::Time taken_at = 0;
+};
+
+/// A virtual cluster: a set of virtual machines with stable fabric
+/// identities, mapped onto physical nodes — possibly across physical
+/// clusters, and onto a *different* node set at each instantiation
+/// (paper §1, figure 1). The VMs are owned here; hypervisors only host
+/// them.
+class VirtualCluster final {
+ public:
+  VirtualCluster(sim::Simulation& sim, net::Network& net, VcId id,
+                 VcSpec spec);
+
+  VirtualCluster(const VirtualCluster&) = delete;
+  VirtualCluster& operator=(const VirtualCluster&) = delete;
+
+  [[nodiscard]] VcId id() const noexcept { return id_; }
+  [[nodiscard]] const VcSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] VcState state() const noexcept { return state_; }
+  [[nodiscard]] std::uint32_t size() const noexcept { return spec_.size; }
+
+  [[nodiscard]] vm::VirtualMachine& machine(std::uint32_t i) {
+    return *vms_.at(i);
+  }
+  [[nodiscard]] const vm::VirtualMachine& machine(std::uint32_t i) const {
+    return *vms_.at(i);
+  }
+
+  /// The VMs as execution contexts, in member order — what a ParallelApp
+  /// is constructed over.
+  [[nodiscard]] std::vector<vm::ExecutionContext*> contexts();
+
+  /// Physical node currently hosting member i.
+  [[nodiscard]] hw::NodeId placement(std::uint32_t i) const {
+    return placement_.at(i);
+  }
+  [[nodiscard]] const std::vector<hw::NodeId>& placements() const noexcept {
+    return placement_;
+  }
+
+  /// True if the mapping uses nodes from more than one physical cluster.
+  [[nodiscard]] bool spans_clusters(const hw::Fabric& fabric) const;
+
+  /// Label under which this VC's checkpoint sets are filed.
+  [[nodiscard]] std::string checkpoint_label() const {
+    return spec_.name + "#" + std::to_string(id_);
+  }
+
+  [[nodiscard]] const VcCheckpoint& last_checkpoint() const noexcept {
+    return last_checkpoint_;
+  }
+  [[nodiscard]] bool has_checkpoint() const noexcept {
+    return last_checkpoint_.set != storage::kInvalidCheckpointSet;
+  }
+
+  /// The incremental chain a restore must stage: the last full image set
+  /// followed by every incremental set since. Length 1 = full checkpoints.
+  [[nodiscard]] const std::vector<storage::CheckpointSetId>&
+  checkpoint_chain() const noexcept {
+    return checkpoint_chain_;
+  }
+
+  [[nodiscard]] std::uint32_t recoveries() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] std::uint32_t instantiations() const noexcept {
+    return instantiations_;
+  }
+
+ private:
+  friend class DvcManager;
+
+  sim::Simulation* sim_;
+  VcId id_;
+  VcSpec spec_;
+  VcState state_ = VcState::kProvisioning;
+  std::vector<std::unique_ptr<vm::VirtualMachine>> vms_;
+  std::vector<hw::NodeId> placement_;
+  VcCheckpoint last_checkpoint_;
+  std::vector<storage::CheckpointSetId> checkpoint_chain_;
+  std::uint32_t recoveries_ = 0;
+  std::uint32_t instantiations_ = 0;
+};
+
+}  // namespace dvc::core

@@ -1,0 +1,81 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dvc::net {
+
+HostId Network::new_host() {
+  const HostId id = static_cast<HostId>(up_.size());
+  up_.push_back(true);
+  egress_free_.push_back(0);
+  return id;
+}
+
+void Network::set_host_up(HostId host, bool up) {
+  if (host >= up_.size()) throw std::out_of_range("unknown host");
+  if (up_[host] == up) return;
+  up_[host] = up;
+  const auto it = state_observers_.find(host);
+  if (it != state_observers_.end()) {
+    const auto observers = it->second;  // observers may mutate the list
+    for (const auto& [token, fn] : observers) fn(up);
+  }
+}
+
+std::uint64_t Network::subscribe_host_state(HostId host,
+                                            std::function<void(bool)> fn) {
+  if (host >= up_.size()) throw std::out_of_range("unknown host");
+  const std::uint64_t token = next_observer_token_++;
+  state_observers_[host].emplace(token, std::move(fn));
+  return token;
+}
+
+void Network::unsubscribe_host_state(HostId host, std::uint64_t token) {
+  const auto it = state_observers_.find(host);
+  if (it != state_observers_.end()) it->second.erase(token);
+}
+
+bool Network::host_up(HostId host) const {
+  return host < up_.size() && up_[host];
+}
+
+void Network::attach(const Address& addr, PacketSink* sink) {
+  if (addr.host >= up_.size()) throw std::out_of_range("unknown host");
+  if (sink == nullptr) throw std::invalid_argument("null sink");
+  sinks_[addr] = sink;
+}
+
+void Network::detach(const Address& addr) { sinks_.erase(addr); }
+
+bool Network::send(const Packet& p) {
+  if (!host_up(p.src.host)) return false;
+  ++sent_;
+  const double bw = link_->bandwidth_bps(p.src.host, p.dst.host);
+  const auto serialisation = static_cast<sim::Duration>(
+      static_cast<double>(p.size_bytes) / bw * sim::kSecond);
+  // Serialise on the sender's egress link: back-to-back departures.
+  const sim::Time depart =
+      std::max(sim_->now(), egress_free_[p.src.host]) + serialisation;
+  egress_free_[p.src.host] = depart;
+  if (rng_.chance(link_->loss_probability(p.src.host, p.dst.host))) {
+    return true;  // occupied the wire, then died on it
+  }
+  const sim::Time arrive =
+      depart + link_->latency(p.src.host, p.dst.host, rng_);
+  sim_->schedule_at(arrive, [this, p] { deliver(p); });
+  return true;
+}
+
+void Network::deliver(const Packet& p) {
+  // A packet reaching a paused/saved/failed host is lost: the virtual NIC
+  // is not consuming its ring, so nothing is ACKed (paper §3, scenario 1).
+  if (!host_up(p.dst.host)) return;
+  const auto it = sinks_.find(p.dst);
+  if (it == sinks_.end()) return;  // no listener: dropped like a closed port
+  ++delivered_;
+  it->second->on_packet(p);
+}
+
+}  // namespace dvc::net

@@ -1,0 +1,228 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace dvc::net {
+
+/// Identifier of a network attachment point (a physical node's NIC or a
+/// virtual machine's virtual NIC — the fabric does not care which).
+using HostId = std::uint32_t;
+
+inline constexpr HostId kInvalidHost = 0xffffffffu;
+
+/// A (host, port) endpoint address.
+struct Address {
+  HostId host = kInvalidHost;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+struct AddressHash {
+  std::size_t operator()(const Address& a) const noexcept {
+    return (static_cast<std::size_t>(a.host) << 16) ^ a.port;
+  }
+};
+
+/// Wire packet. The simulator is metadata-only: packets carry sizes and
+/// protocol fields, never real payload bytes.
+struct Packet {
+  enum class Kind : std::uint8_t {
+    kData,      ///< reliable-channel data segment
+    kAck,       ///< reliable-channel cumulative acknowledgement
+    kDatagram,  ///< fire-and-forget control datagram
+  };
+
+  Address src;
+  Address dst;
+  Kind kind = Kind::kDatagram;
+  std::uint64_t seq = 0;       ///< data: segment sequence number
+  std::uint64_t ack = 0;       ///< ack: cumulative acknowledged sequence
+  std::uint32_t size_bytes = 0;
+  std::uint64_t msg_id = 0;    ///< application message identity
+  std::uint32_t tag = 0;       ///< application tag (MPI-style)
+  /// Incarnation of the sending endpoint. Bumped on every whole-cluster
+  /// rollback (the restored VC gets a fresh virtual network namespace), so
+  /// packets still in flight from a pre-rollback incarnation are ignored
+  /// by restored endpoints instead of corrupting their sequence space.
+  std::uint32_t epoch = 0;
+};
+
+/// Per-pair delay/loss/bandwidth model. Implementations must be
+/// deterministic given the supplied Rng.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Propagation + queueing latency for one packet (excluding serialisation).
+  [[nodiscard]] virtual sim::Duration latency(HostId src, HostId dst,
+                                              sim::Rng& rng) = 0;
+
+  /// Independent drop probability for one packet.
+  [[nodiscard]] virtual double loss_probability(HostId src, HostId dst) = 0;
+
+  /// Link bandwidth in bytes per second (serialisation delay component).
+  [[nodiscard]] virtual double bandwidth_bps(HostId src, HostId dst) = 0;
+};
+
+/// Uniform fabric: every pair of hosts sees the same base latency, jitter,
+/// loss rate and bandwidth. Good enough for single-switch clusters.
+class FlatLinkModel final : public LinkModel {
+ public:
+  struct Config {
+    sim::Duration base_latency = 50 * sim::kMicrosecond;
+    sim::Duration jitter = 20 * sim::kMicrosecond;  ///< exponential mean
+    double loss = 0.0;
+    double bandwidth_bps = 125e6;  ///< 1 Gbit/s in bytes/s
+  };
+
+  explicit FlatLinkModel(Config cfg) noexcept : cfg_(cfg) {}
+
+  [[nodiscard]] sim::Duration latency(HostId, HostId,
+                                      sim::Rng& rng) override {
+    return cfg_.base_latency + rng.exponential_duration(cfg_.jitter);
+  }
+  [[nodiscard]] double loss_probability(HostId, HostId) override {
+    return cfg_.loss;
+  }
+  [[nodiscard]] double bandwidth_bps(HostId, HostId) override {
+    return cfg_.bandwidth_bps;
+  }
+
+ private:
+  Config cfg_;
+};
+
+/// Two-tier fabric: hosts belong to clusters; intra-cluster pairs see LAN
+/// parameters, inter-cluster pairs see WAN parameters. This models the
+/// paper's multi-cluster campus fabric.
+class ClusterLinkModel final : public LinkModel {
+ public:
+  struct Tier {
+    sim::Duration base_latency;
+    sim::Duration jitter;
+    double loss;
+    double bandwidth_bps;
+  };
+  struct Config {
+    Tier intra{50 * sim::kMicrosecond, 20 * sim::kMicrosecond, 0.0, 125e6};
+    Tier inter{1 * sim::kMillisecond, 300 * sim::kMicrosecond, 0.0, 12.5e6};
+  };
+
+  explicit ClusterLinkModel(Config cfg) noexcept : cfg_(cfg) {}
+
+  /// Declares which cluster a host belongs to (default: cluster 0).
+  void set_cluster(HostId host, std::uint32_t cluster) {
+    cluster_of_[host] = cluster;
+  }
+
+  [[nodiscard]] sim::Duration latency(HostId src, HostId dst,
+                                      sim::Rng& rng) override {
+    const Tier& t = tier(src, dst);
+    return t.base_latency + rng.exponential_duration(t.jitter);
+  }
+  [[nodiscard]] double loss_probability(HostId src, HostId dst) override {
+    return tier(src, dst).loss;
+  }
+  [[nodiscard]] double bandwidth_bps(HostId src, HostId dst) override {
+    return tier(src, dst).bandwidth_bps;
+  }
+
+ private:
+  [[nodiscard]] const Tier& tier(HostId src, HostId dst) const {
+    const auto a = cluster_of_.find(src);
+    const auto b = cluster_of_.find(dst);
+    const std::uint32_t ca = a == cluster_of_.end() ? 0 : a->second;
+    const std::uint32_t cb = b == cluster_of_.end() ? 0 : b->second;
+    return ca == cb ? cfg_.intra : cfg_.inter;
+  }
+
+  Config cfg_;
+  std::unordered_map<HostId, std::uint32_t> cluster_of_;
+};
+
+/// Receives packets addressed to an attached endpoint.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void on_packet(const Packet& p) = 0;
+};
+
+/// The simulated fabric: attaches endpoints, applies the link model, and
+/// enforces host liveness — packets to or from a down host are dropped,
+/// which is exactly how a suspended Xen domain behaves on the wire.
+class Network final {
+ public:
+  Network(sim::Simulation& sim, std::shared_ptr<LinkModel> link,
+          sim::Rng rng)
+      : sim_(&sim), link_(std::move(link)), rng_(rng) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Allocates a new attachment point, initially up.
+  [[nodiscard]] HostId new_host();
+
+  /// Marks a host up (running) or down (paused / saved / failed).
+  void set_host_up(HostId host, bool up);
+  [[nodiscard]] bool host_up(HostId host) const;
+
+  /// Registers a persistent observer of one host's liveness transitions.
+  /// Used by transports to resume retransmission the moment a frozen guest
+  /// is thawed, instead of polling. Returns a token for unsubscribe.
+  std::uint64_t subscribe_host_state(HostId host,
+                                     std::function<void(bool)> fn);
+  void unsubscribe_host_state(HostId host, std::uint64_t token);
+
+  /// Binds a sink to an address. The address's host must exist.
+  void attach(const Address& addr, PacketSink* sink);
+  void detach(const Address& addr);
+
+  /// Injects a packet. Returns false if the source host is down (the packet
+  /// is silently not sent, as a frozen guest cannot transmit).
+  ///
+  /// Each host's egress link serialises its packets: a burst of sends from
+  /// one host departs back-to-back at the link bandwidth instead of in
+  /// parallel. This is what makes a flat broadcast cost O(P x bytes/bw)
+  /// and a binomial tree O(log P x bytes/bw).
+  bool send(const Packet& p);
+
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return sent_;
+  }
+  [[nodiscard]] std::uint64_t packets_delivered() const noexcept {
+    return delivered_;
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const noexcept {
+    return sent_ - delivered_;
+  }
+
+  [[nodiscard]] LinkModel& link_model() noexcept { return *link_; }
+
+ private:
+  void deliver(const Packet& p);
+
+  sim::Simulation* sim_;
+  std::shared_ptr<LinkModel> link_;
+  sim::Rng rng_;
+  std::vector<bool> up_;
+  std::vector<sim::Time> egress_free_;  ///< per-host link-idle instant
+  std::uint64_t next_observer_token_ = 1;
+  std::unordered_map<HostId, std::map<std::uint64_t,
+                                      std::function<void(bool)>>>
+      state_observers_;
+  std::unordered_map<Address, PacketSink*, AddressHash> sinks_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace dvc::net

@@ -1,0 +1,207 @@
+#include "net/reliable_channel.hpp"
+
+#include <algorithm>
+
+namespace dvc::net {
+
+namespace {
+constexpr std::uint32_t kAckBytes = 40;  // header-only wire size
+constexpr std::uint32_t kHeaderBytes = 40;
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(sim::Simulation& sim, Network& net,
+                                   Address local, Address peer,
+                                   ReliableConfig cfg)
+    : sim_(&sim),
+      net_(&net),
+      local_(local),
+      peer_(peer),
+      cfg_(cfg),
+      rto_(cfg.initial_rto) {
+  net_->attach(local_, this);
+  host_state_token_ = net_->subscribe_host_state(
+      local_.host, [this](bool up) { on_host_state(up); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() {
+  if (timer_ != sim::kInvalidEvent) sim_->cancel(timer_);
+  net_->unsubscribe_host_state(local_.host, host_state_token_);
+  net_->detach(local_);
+}
+
+std::uint64_t ReliableEndpoint::send(std::uint32_t bytes, std::uint32_t tag) {
+  if (state_ == State::kFailed) return 0;
+  const std::uint64_t seq = next_seq_++;
+  const Pending m{bytes, tag};
+  unacked_.emplace(seq, m);
+  transmit(seq, m);
+  if (timer_ == sim::kInvalidEvent) arm_timer();
+  return seq + 1;  // 1-based message id so 0 can mean "not sent"
+}
+
+void ReliableEndpoint::transmit(std::uint64_t seq, const Pending& m) {
+  Packet p;
+  p.src = local_;
+  p.dst = peer_;
+  p.kind = Packet::Kind::kData;
+  p.seq = seq;
+  p.size_bytes = m.bytes + kHeaderBytes;
+  p.msg_id = seq + 1;
+  p.tag = m.tag;
+  p.epoch = epoch_;
+  net_->send(p);  // may be refused if we are frozen; the timer will retry
+}
+
+void ReliableEndpoint::send_ack() {
+  Packet p;
+  p.src = local_;
+  p.dst = peer_;
+  p.kind = Packet::Kind::kAck;
+  p.ack = expected_;
+  p.size_bytes = kAckBytes;
+  p.epoch = epoch_;
+  net_->send(p);
+}
+
+void ReliableEndpoint::arm_timer() {
+  timer_ = sim_->schedule_after(rto_, [this] { on_timer(); });
+}
+
+void ReliableEndpoint::on_host_state(bool up) {
+  if (!up) return;
+  if (parked_ && state_ != State::kFailed) {
+    // Thawed: the guest's nearly-expired retransmission timer goes off
+    // shortly after restore and unACKed data flows again (paper §3:
+    // "After a restart, the sender will send any unacked messages").
+    parked_ = false;
+    if (!unacked_.empty() && timer_ == sim::kInvalidEvent) {
+      timer_ = sim_->schedule_after(cfg_.thaw_retransmit_delay,
+                                    [this] { on_timer(); });
+    }
+  }
+}
+
+void ReliableEndpoint::on_timer() {
+  timer_ = sim::kInvalidEvent;
+  if (state_ == State::kFailed || unacked_.empty()) return;
+
+  if (!net_->host_up(local_.host)) {
+    // We are frozen inside a saved guest: our timers are part of the saved
+    // state and do not advance. Park until the host is thawed; no retries
+    // are consumed while frozen.
+    parked_ = true;
+    return;
+  }
+
+  if (retries_ >= cfg_.max_retries) {
+    fail("retransmission limit exceeded (peer unreachable)");
+    return;
+  }
+  ++retries_;
+  ++retransmissions_;
+  // Retransmit the oldest unacknowledged message, back off, re-arm.
+  const auto& [seq, m] = *unacked_.begin();
+  transmit(seq, m);
+  rto_ = std::min(
+      static_cast<sim::Duration>(static_cast<double>(rto_) * cfg_.backoff),
+      cfg_.max_rto);
+  arm_timer();
+}
+
+void ReliableEndpoint::fail(std::string_view reason) {
+  if (state_ == State::kFailed) return;
+  state_ = State::kFailed;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+  if (on_failure_) on_failure_(reason);
+}
+
+TransportSnapshot ReliableEndpoint::snapshot() const {
+  TransportSnapshot s;
+  s.next_seq = next_seq_;
+  s.acked = acked_;
+  for (const auto& [seq, m] : unacked_) {
+    s.unacked.emplace(seq, std::make_pair(m.bytes, m.tag));
+  }
+  s.expected = expected_;
+  for (const auto& [seq, m] : reorder_) {
+    s.reorder.emplace(seq, std::make_pair(m.bytes, m.tag));
+  }
+  return s;
+}
+
+void ReliableEndpoint::restore(const TransportSnapshot& snap,
+                               std::uint32_t epoch) {
+  epoch_ = epoch;
+  state_ = State::kOpen;
+  next_seq_ = snap.next_seq;
+  acked_ = snap.acked;
+  unacked_.clear();
+  for (const auto& [seq, m] : snap.unacked) {
+    unacked_.emplace(seq, Pending{m.first, m.second});
+  }
+  expected_ = snap.expected;
+  reorder_.clear();
+  for (const auto& [seq, m] : snap.reorder) {
+    reorder_.emplace(seq, Pending{m.first, m.second});
+  }
+  retries_ = 0;
+  rto_ = cfg_.initial_rto;
+  parked_ = false;
+  if (timer_ != sim::kInvalidEvent) {
+    sim_->cancel(timer_);
+    timer_ = sim::kInvalidEvent;
+  }
+  if (!unacked_.empty()) {
+    // The restored guest's pending retransmission fires shortly after thaw.
+    timer_ = sim_->schedule_after(cfg_.thaw_retransmit_delay,
+                                  [this] { on_timer(); });
+  }
+}
+
+void ReliableEndpoint::on_packet(const Packet& p) {
+  if (state_ == State::kFailed) return;
+  if (p.epoch != epoch_) return;  // stale incarnation (pre-rollback traffic)
+
+  if (p.kind == Packet::Kind::kAck) {
+    if (p.ack > acked_) {
+      acked_ = p.ack;
+      unacked_.erase(unacked_.begin(), unacked_.lower_bound(acked_));
+      // Forward progress: reset the backoff schedule.
+      retries_ = 0;
+      rto_ = cfg_.initial_rto;
+      if (timer_ != sim::kInvalidEvent) {
+        sim_->cancel(timer_);
+        timer_ = sim::kInvalidEvent;
+      }
+      if (!unacked_.empty()) arm_timer();
+    }
+    return;
+  }
+
+  if (p.kind != Packet::Kind::kData) return;
+
+  if (p.seq < expected_) {
+    // Duplicate of an already-delivered message (the peer never saw our
+    // ACK, e.g. it was lost across a checkpoint cut). Re-ACK, do not
+    // redeliver — paper §3 scenario 2.
+    ++duplicates_;
+    send_ack();
+    return;
+  }
+
+  reorder_.emplace(p.seq, Pending{p.size_bytes - kHeaderBytes, p.tag});
+  while (!reorder_.empty() && reorder_.begin()->first == expected_) {
+    const Pending m = reorder_.begin()->second;
+    const std::uint64_t seq = reorder_.begin()->first;
+    reorder_.erase(reorder_.begin());
+    ++expected_;
+    ++delivered_count_;
+    if (on_delivery_) on_delivery_(Message{seq + 1, m.bytes, m.tag});
+  }
+  send_ack();
+}
+
+}  // namespace dvc::net

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace dvc::net {
+
+/// An application message carried by a reliable channel.
+struct Message {
+  std::uint64_t id = 0;      ///< unique per sending endpoint
+  std::uint32_t bytes = 0;   ///< payload size (metadata only)
+  std::uint32_t tag = 0;     ///< application tag (MPI-style)
+};
+
+/// Frozen image of one endpoint's transport state, captured while the host
+/// is paused. Restoring it reproduces the guest's TCP stack exactly as it
+/// was at the cut: unACKed messages will be retransmitted, duplicates will
+/// be re-ACKed but not redelivered — the paper's §3 scenarios.
+struct TransportSnapshot {
+  std::uint64_t next_seq = 0;
+  std::uint64_t acked = 0;
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      unacked;  ///< seq -> (bytes, tag)
+  std::uint64_t expected = 0;
+  std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      reorder;  ///< seq -> (bytes, tag)
+};
+
+/// Retransmission policy of the TCP-like transport. The total retry budget
+/// (sum of backed-off RTOs) is the hard deadline LSC must beat: a peer that
+/// stays frozen longer than the budget causes a connection abort, i.e. an
+/// application crash.
+struct ReliableConfig {
+  sim::Duration initial_rto = 200 * sim::kMillisecond;
+  double backoff = 2.0;
+  sim::Duration max_rto = 60 * sim::kSecond;
+  int max_retries = 6;
+  /// Delay between thaw (our host coming back up) and the resumed
+  /// retransmission timer firing — models the saved guest's nearly-expired
+  /// TCP timers going off shortly after restore.
+  sim::Duration thaw_retransmit_delay = 10 * sim::kMillisecond;
+
+  /// Total time a sender will keep retrying before aborting, assuming the
+  /// peer never answers: sum of the backed-off RTO schedule.
+  [[nodiscard]] sim::Duration retry_budget() const noexcept {
+    sim::Duration total = 0;
+    double rto = static_cast<double>(initial_rto);
+    for (int i = 0; i < max_retries; ++i) {
+      total += static_cast<sim::Duration>(rto);
+      rto = std::min(rto * backoff, static_cast<double>(max_rto));
+    }
+    return total + static_cast<sim::Duration>(rto);
+  }
+};
+
+/// One side of a full-duplex reliable connection (sequence numbers,
+/// cumulative ACKs, retransmission with exponential backoff, bounded
+/// retries, in-order exactly-once delivery with reordering buffer).
+///
+/// Semantics needed by the paper's §3 argument, all implemented here:
+///  * data arriving at a frozen host is dropped and never ACKed, so the
+///    sender retransmits after restore (scenario 1);
+///  * an ACK lost on the wire causes a duplicate retransmission after
+///    restore, which the receiver re-ACKs without redelivering (scenario 2);
+///  * a frozen *sender's* retry clock does not advance (its timers are part
+///    of the saved guest), so symmetric checkpoints are always safe;
+///  * a sender left running against a frozen peer aborts once the retry
+///    budget is exhausted — the failure mode of skewed checkpoints.
+class ReliableEndpoint final : public PacketSink {
+ public:
+  enum class State : std::uint8_t { kOpen, kFailed };
+
+  using DeliveryHandler = std::function<void(const Message&)>;
+  using FailureHandler = std::function<void(std::string_view reason)>;
+
+  ReliableEndpoint(sim::Simulation& sim, Network& net, Address local,
+                   Address peer, ReliableConfig cfg = {});
+  ~ReliableEndpoint() override;
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  /// Called for each message delivered in order, exactly once.
+  void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
+  /// Called once if the connection aborts (retry budget exhausted).
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+
+  /// Queues a message for reliable in-order delivery to the peer.
+  /// Returns the message id. No-op (returns 0) after failure.
+  std::uint64_t send(std::uint32_t bytes, std::uint32_t tag = 0);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ == State::kFailed;
+  }
+  [[nodiscard]] std::size_t unacked() const noexcept {
+    return unacked_.size();
+  }
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return next_seq_;
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return delivered_count_;
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_discarded() const noexcept {
+    return duplicates_;
+  }
+
+  void on_packet(const Packet& p) override;
+
+  /// Captures transport state (call while the host is paused: that is when
+  /// the hypervisor images the guest).
+  [[nodiscard]] TransportSnapshot snapshot() const;
+
+  /// Rolls transport state back to a snapshot (whole-VC restore from a
+  /// checkpoint). Re-opens a failed endpoint: the restored guest's TCP
+  /// stack never saw the abort. `epoch` must be the same on both sides of
+  /// the connection and strictly greater than any previous incarnation, so
+  /// in-flight packets from before the rollback are discarded on arrival.
+  void restore(const TransportSnapshot& snap, std::uint32_t epoch);
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+ private:
+  struct Pending {
+    std::uint32_t bytes;
+    std::uint32_t tag;
+  };
+
+  void transmit(std::uint64_t seq, const Pending& m);
+  void send_ack();
+  void arm_timer();
+  void on_timer();
+  void on_host_state(bool up);
+  void fail(std::string_view reason);
+
+  sim::Simulation* sim_;
+  Network* net_;
+  Address local_;
+  Address peer_;
+  ReliableConfig cfg_;
+  State state_ = State::kOpen;
+
+  // Sender state.
+  std::uint64_t next_seq_ = 0;          ///< next sequence number to assign
+  std::uint64_t acked_ = 0;             ///< peer has everything below this
+  std::map<std::uint64_t, Pending> unacked_;
+  int retries_ = 0;
+  sim::Duration rto_ = 0;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  bool parked_ = false;  ///< timer suppressed because our host is frozen
+  std::uint64_t host_state_token_ = 0;
+  std::uint32_t epoch_ = 0;
+
+  // Receiver state.
+  std::uint64_t expected_ = 0;          ///< next in-order sequence expected
+  std::map<std::uint64_t, Pending> reorder_;
+  std::uint64_t delivered_count_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t retransmissions_ = 0;
+
+  DeliveryHandler on_delivery_;
+  FailureHandler on_failure_;
+};
+
+/// A full-duplex reliable connection between two addresses: a convenience
+/// wrapper constructing the two endpoints with symmetric configuration.
+class ReliableConnection final {
+ public:
+  ReliableConnection(sim::Simulation& sim, Network& net, Address a,
+                     Address b, ReliableConfig cfg = {})
+      : a_(sim, net, a, b, cfg), b_(sim, net, b, a, cfg) {}
+
+  [[nodiscard]] ReliableEndpoint& end_a() noexcept { return a_; }
+  [[nodiscard]] ReliableEndpoint& end_b() noexcept { return b_; }
+
+  [[nodiscard]] bool failed() const noexcept {
+    return a_.failed() || b_.failed();
+  }
+
+ private:
+  ReliableEndpoint a_;
+  ReliableEndpoint b_;
+};
+
+}  // namespace dvc::net

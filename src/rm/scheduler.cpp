@@ -1,0 +1,291 @@
+#include "rm/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dvc::rm {
+
+Scheduler::Scheduler(sim::Simulation& sim, hw::Fabric& fabric, Config cfg)
+    : sim_(&sim), fabric_(&fabric), cfg_(cfg) {
+  fabric.subscribe_failures([this](hw::NodeId n) { on_node_failure(n); });
+}
+
+JobId Scheduler::submit(JobRequest req) {
+  if (req.nodes_requested == 0) {
+    throw std::invalid_argument("a job needs at least one node");
+  }
+  const JobId id = next_id_++;
+  JobRecord rec;
+  rec.id = id;
+  rec.request = std::move(req);
+  rec.submitted_at = sim_->now();
+
+  // Reject jobs that could never run under this configuration (a rigid
+  // request bigger than any single cluster on a non-spanning system),
+  // instead of head-blocking the FCFS queue forever.
+  std::uint32_t max_feasible = 0;
+  if (cfg_.allow_spanning) {
+    max_feasible = static_cast<std::uint32_t>(fabric_->node_count());
+  } else {
+    for (hw::ClusterId c = 0; c < fabric_->cluster_count(); ++c) {
+      max_feasible = std::max(
+          max_feasible,
+          static_cast<std::uint32_t>(fabric_->cluster(c).nodes.size()));
+    }
+  }
+  const std::uint32_t floor_nodes =
+      cfg_.mold_oversized
+          ? (rec.request.min_nodes > 0 ? rec.request.min_nodes : 1)
+          : rec.request.nodes_requested;
+  if (floor_nodes > max_feasible) {
+    rec.state = JobState::kFailed;
+    rec.finished_at = sim_->now();
+    ++failed_count_;
+    auto [it, inserted] = jobs_.emplace(id, std::move(rec));
+    if (on_finish_) on_finish_(it->second);
+    return id;
+  }
+
+  jobs_.emplace(id, std::move(rec));
+  queue_.push_back(id);
+  try_schedule();
+  return id;
+}
+
+void Scheduler::accumulate_busy() {
+  const sim::Time now = sim_->now();
+  busy_node_seconds_ +=
+      sim::to_seconds(now - busy_accum_mark_) * static_cast<double>(
+          busy_.size());
+  busy_accum_mark_ = now;
+}
+
+double Scheduler::busy_node_seconds() const {
+  const_cast<Scheduler*>(this)->accumulate_busy();
+  return busy_node_seconds_;
+}
+
+std::optional<Allocation> Scheduler::find_allocation(
+    const JobRequest& req, std::uint32_t nodes) const {
+  auto free_in = [this](hw::ClusterId c) {
+    std::vector<hw::NodeId> out;
+    for (const hw::NodeId n : fabric_->healthy_nodes(c)) {
+      if (!busy_.contains(n)) out.push_back(n);
+    }
+    return out;
+  };
+
+  // First preference: entirely inside the home cluster, then any single
+  // cluster (virtual clusters give every job its own software stack, so a
+  // foreign cluster is as good as home — paper goal 2).
+  std::vector<hw::ClusterId> order;
+  order.push_back(req.home_cluster);
+  for (hw::ClusterId c = 0; c < fabric_->cluster_count(); ++c) {
+    if (c != req.home_cluster) order.push_back(c);
+  }
+  for (const hw::ClusterId c : order) {
+    auto avail = free_in(c);
+    if (avail.size() >= nodes) {
+      avail.resize(nodes);
+      return Allocation{std::move(avail), false};
+    }
+  }
+
+  if (!cfg_.allow_spanning) return std::nullopt;
+
+  // Spanning: take what the home cluster has, fill from the others.
+  Allocation alloc;
+  for (const hw::ClusterId c : order) {
+    for (const hw::NodeId n : free_in(c)) {
+      if (alloc.nodes.size() == nodes) break;
+      alloc.nodes.push_back(n);
+    }
+    if (alloc.nodes.size() == nodes) break;
+  }
+  if (alloc.nodes.size() < nodes) return std::nullopt;
+  const hw::ClusterId first = fabric_->node(alloc.nodes.front()).cluster();
+  for (const hw::NodeId n : alloc.nodes) {
+    if (fabric_->node(n).cluster() != first) {
+      alloc.spans_clusters = true;
+      break;
+    }
+  }
+  return alloc;
+}
+
+void Scheduler::try_schedule() {
+  // Strict FCFS: the head of the queue blocks later jobs (no backfill),
+  // which keeps fairness semantics simple and makes the spanning benefit
+  // visible rather than hidden by backfill.
+  while (!queue_.empty()) {
+    JobRecord& job = jobs_.at(queue_.front());
+    std::uint32_t want = job.request.nodes_requested;
+
+    auto alloc = find_allocation(job.request, want);
+    if (!alloc && cfg_.mold_oversized && !cfg_.allow_spanning) {
+      // Mold an oversized request down to the largest single-cluster slice
+      // that could ever satisfy it, bounded below by min_nodes.
+      std::uint32_t biggest = 0;
+      for (hw::ClusterId c = 0; c < fabric_->cluster_count(); ++c) {
+        biggest = std::max(
+            biggest,
+            static_cast<std::uint32_t>(fabric_->cluster(c).nodes.size()));
+      }
+      const std::uint32_t floor_nodes =
+          job.request.min_nodes > 0 ? job.request.min_nodes : 1;
+      if (biggest < want && floor_nodes <= biggest) {
+        want = biggest;
+        alloc = find_allocation(job.request, want);
+      }
+    }
+    if (!alloc) {
+      // Head blocked: optionally let later jobs jump ahead if they cannot
+      // delay the head's earliest possible start.
+      if (cfg_.easy_backfill) try_backfill(job);
+      return;
+    }
+
+    queue_.pop_front();
+    start_job(job, std::move(*alloc));
+  }
+}
+
+sim::Time Scheduler::head_shadow_time(std::uint32_t head_need) const {
+  // Release running jobs in estimated end order until enough nodes are
+  // free for the head.
+  std::size_t free_now = 0;
+  for (const hw::NodeId n : fabric_->healthy_nodes()) {
+    if (!busy_.contains(n)) ++free_now;
+  }
+  std::vector<std::pair<sim::Time, std::size_t>> ends;  // end, nodes freed
+  for (const auto& [id, end] : expected_end_) {
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end() && it->second.state == JobState::kRunning) {
+      ends.emplace_back(end, it->second.allocation.nodes.size());
+    }
+  }
+  std::sort(ends.begin(), ends.end());
+  for (const auto& [end, freed] : ends) {
+    if (free_now >= head_need) break;
+    free_now += freed;
+    if (free_now >= head_need) return end;
+  }
+  // Either it already fits by count (placement constraints blocked it) or
+  // it never will; either way, do not let backfill delay anything.
+  return sim_->now();
+}
+
+void Scheduler::try_backfill(const JobRecord& head) {
+  const sim::Time shadow = head_shadow_time(head.request.nodes_requested);
+  if (shadow <= sim_->now()) return;
+  for (std::size_t qi = 1; qi < queue_.size();) {
+    JobRecord& job = jobs_.at(queue_[qi]);
+    const double est_runtime_s =
+        job.request.node_seconds_work /
+            static_cast<double>(job.request.nodes_requested) +
+        sim::to_seconds(job.request.startup_overhead);
+    const bool finishes_in_shadow =
+        sim_->now() + sim::from_seconds(est_runtime_s) <= shadow;
+    auto alloc = finishes_in_shadow
+                     ? find_allocation(job.request,
+                                       job.request.nodes_requested)
+                     : std::nullopt;
+    if (alloc) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
+      ++backfill_count_;
+      start_job(job, std::move(*alloc));
+      // start_job -> (on completion) try_schedule may have restructured
+      // the queue; restart the scan conservatively.
+      qi = 1;
+    } else {
+      ++qi;
+    }
+  }
+}
+
+void Scheduler::start_job(JobRecord& job, Allocation alloc) {
+  accumulate_busy();
+  job.state = JobState::kRunning;
+  job.started_at = sim_->now();
+  job.allocation = std::move(alloc);
+  for (const hw::NodeId n : job.allocation.nodes) {
+    busy_.insert(n);
+    node_owner_[n] = job.id;
+  }
+  ++running_count_;
+  waits_.add(sim::to_seconds(job.started_at - job.submitted_at));
+  {
+    const double n = static_cast<double>(job.allocation.nodes.size());
+    expected_end_[job.id] =
+        job.started_at +
+        sim::from_seconds(job.request.node_seconds_work / n) +
+        job.request.startup_overhead;
+  }
+  if (on_start_) on_start_(job);
+
+  if (cfg_.auto_run) {
+    const double n = static_cast<double>(job.allocation.nodes.size());
+    const sim::Duration run =
+        sim::from_seconds(job.request.node_seconds_work / n) +
+        job.request.startup_overhead;
+    const JobId id = job.id;
+    sim_->schedule_after(run, [this, id] {
+      JobRecord& j = jobs_.at(id);
+      if (j.state == JobState::kRunning) {
+        finish_job(j, JobState::kCompleted);
+      }
+    });
+  }
+}
+
+void Scheduler::complete(JobId id) {
+  JobRecord& job = jobs_.at(id);
+  if (job.state == JobState::kRunning) {
+    finish_job(job, JobState::kCompleted);
+  }
+}
+
+void Scheduler::fail(JobId id) {
+  JobRecord& job = jobs_.at(id);
+  if (job.state == JobState::kRunning) {
+    finish_job(job, JobState::kFailed);
+  }
+}
+
+void Scheduler::finish_job(JobRecord& job, JobState final_state) {
+  accumulate_busy();
+  job.state = final_state;
+  job.finished_at = sim_->now();
+  last_finish_ = std::max(last_finish_, job.finished_at);
+  for (const hw::NodeId n : job.allocation.nodes) {
+    busy_.erase(n);
+    node_owner_.erase(n);
+  }
+  --running_count_;
+  expected_end_.erase(job.id);
+  if (final_state == JobState::kCompleted) {
+    ++completed_count_;
+  } else {
+    ++failed_count_;
+  }
+  if (on_finish_) on_finish_(job);
+  try_schedule();
+}
+
+void Scheduler::on_node_failure(hw::NodeId node) {
+  // A failed node takes down whatever ran on it (unless a DVC layer above
+  // recovers the job — that layer resubmits). The node also leaves the
+  // allocatable pool, which try_schedule respects via healthy_nodes().
+  const auto it = node_owner_.find(node);
+  if (it != node_owner_.end() && cfg_.fail_jobs_on_node_failure) {
+    JobRecord& job = jobs_.at(it->second);
+    if (job.state == JobState::kRunning) {
+      finish_job(job, JobState::kFailed);
+      return;  // finish_job already re-runs the queue
+    }
+  }
+  try_schedule();
+}
+
+}  // namespace dvc::rm

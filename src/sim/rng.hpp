@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "sim/time.hpp"
+
+namespace dvc::sim {
+
+/// Deterministic pseudo-random number generator (SplitMix64).
+///
+/// Every stochastic component owns its own `Rng`, seeded from the experiment
+/// seed plus a component-specific salt, so adding or removing one component
+/// never perturbs the random stream seen by another. The simulator never
+/// touches global RNG state or the wall clock.
+class Rng final {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed ^ kGolden) {}
+
+  /// Derives an independent child generator; `salt` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next_u64() ^ (salt * kGolden));
+  }
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += kGolden);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
+    // Modulo bias is negligible for the ranges used here (n << 2^64).
+    return next_u64() % n;
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  [[nodiscard]] double exponential(double mean) noexcept {
+    return -mean * std::log1p(-uniform());
+  }
+
+  /// Normally distributed value (Box-Muller).
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    const double u1 = 1.0 - uniform();  // avoid log(0)
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Exponentially distributed simulated duration with the given mean.
+  [[nodiscard]] Duration exponential_duration(Duration mean) noexcept {
+    return static_cast<Duration>(exponential(static_cast<double>(mean)));
+  }
+
+  /// Normally distributed simulated duration, clamped to be non-negative.
+  [[nodiscard]] Duration normal_duration(Duration mean,
+                                         Duration stddev) noexcept {
+    const double v =
+        normal(static_cast<double>(mean), static_cast<double>(stddev));
+    return v <= 0.0 ? Duration{0} : static_cast<Duration>(v);
+  }
+
+ private:
+  static constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t state_;
+};
+
+}  // namespace dvc::sim

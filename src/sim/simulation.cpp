@@ -1,0 +1,104 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace dvc::sim {
+
+EventId Simulation::schedule_impl(Time at, std::function<void()> fn,
+                                  bool daemon) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{at < now_ ? now_ : at, id, daemon, std::move(fn)});
+  if (daemon) {
+    daemon_ids_.insert(id);
+  } else {
+    ++foreground_pending_;
+  }
+  return id;
+}
+
+EventId Simulation::schedule_at(Time at, std::function<void()> fn) {
+  return schedule_impl(at, std::move(fn), /*daemon=*/false);
+}
+
+EventId Simulation::schedule_daemon_at(Time at, std::function<void()> fn) {
+  return schedule_impl(at, std::move(fn), /*daemon=*/true);
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) return false;
+  // Lazy deletion: the entry stays queued but is skipped when popped.
+  const bool fresh = cancelled_.insert(id).second;
+  if (fresh) {
+    if (daemon_ids_.erase(id) == 0) --foreground_pending_;
+  }
+  return fresh;
+}
+
+bool Simulation::pop_one(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the closure must be moved out, so we
+    // copy the POD fields first and const_cast the function (safe: the
+    // entry is popped immediately afterwards).
+    Entry& top = const_cast<Entry&>(queue_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out.at = top.at;
+    out.id = top.id;
+    out.daemon = top.daemon;
+    out.fn = std::move(top.fn);
+    if (top.daemon) {
+      daemon_ids_.erase(top.id);
+    } else {
+      --foreground_pending_;
+    }
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  Entry e;
+  if (!pop_one(e)) return false;
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t Simulation::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && foreground_pending_ > 0 && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulation::run_until(Time until) {
+  std::uint64_t n = 0;
+  Entry e;
+  while (!queue_.empty()) {
+    if (queue_.top().at > until) break;
+    if (!pop_one(e)) break;
+    if (e.at > until) {
+      // pop_one skipped cancelled entries and surfaced a later one; put the
+      // real event back and stop. (Cheaper than peek-with-skip.)
+      if (e.daemon) {
+        daemon_ids_.insert(e.id);
+      } else {
+        ++foreground_pending_;
+      }
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    ++executed_;
+    e.fn();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace dvc::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dvc::sim {
+
+/// Identifier of a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Deterministic discrete-event simulation kernel.
+///
+/// Components schedule closures at absolute or relative simulated times; the
+/// kernel fires them in (time, insertion-order) order, so two events at the
+/// same tick run in the order they were scheduled. This total order plus
+/// per-component `Rng` streams makes every run bit-for-bit reproducible.
+class Simulation final {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (clamped to `now()`).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` ticks from now (negative delays clamp
+  /// to zero, i.e. "as soon as possible, after already-queued work").
+  EventId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Daemon variants: background housekeeping that perpetually reschedules
+  /// itself (NTP polling, failure processes, periodic checkpoints). Daemon
+  /// events fire normally while foreground work exists, but they do not
+  /// keep run() alive on their own — exactly like daemon threads.
+  EventId schedule_daemon_at(Time at, std::function<void()> fn);
+  EventId schedule_daemon_after(Duration delay, std::function<void()> fn) {
+    return schedule_daemon_at(now_ + (delay < 0 ? 0 : delay),
+                              std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns true if it had not yet fired.
+  /// Precondition: `id` must not have fired already (every component in
+  /// this codebase clears its stored EventId when the event runs).
+  bool cancel(EventId id);
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until no *foreground* events remain (daemon events never hold
+  /// the simulation open) or `limit` events have fired. Returns the
+  /// number of events executed.
+  std::uint64_t run(std::uint64_t limit =
+                        std::numeric_limits<std::uint64_t>::max());
+
+  /// Runs events with timestamps <= `until`, then sets now() to `until`
+  /// (if the simulation did not already pass it). Returns events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Number of events currently pending (daemons included).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  /// Number of pending non-daemon events (what keeps run() alive).
+  [[nodiscard]] std::size_t pending_foreground() const noexcept {
+    return foreground_pending_;
+  }
+
+  /// Total number of events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    bool daemon;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  EventId schedule_impl(Time at, std::function<void()> fn, bool daemon);
+  bool pop_one(Entry& out);
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t foreground_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> daemon_ids_;
+};
+
+}  // namespace dvc::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dvc::sim {
+
+/// Streaming summary statistics (Welford) with optional sample retention
+/// for percentiles. Used by experiment harnesses and benches.
+class SummaryStats final {
+ public:
+  explicit SummaryStats(bool keep_samples = false)
+      : keep_samples_(keep_samples) {}
+
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+    if (keep_samples_) samples_.push_back(x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept {
+    return std::sqrt(variance());
+  }
+
+  /// Percentile in [0, 100]; requires keep_samples = true and count() > 0.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> v = samples_;
+    std::sort(v.begin(), v.end());
+    const double idx = (p / 100.0) * static_cast<double>(v.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+  }
+
+ private:
+  bool keep_samples_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace dvc::sim

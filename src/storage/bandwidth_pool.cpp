@@ -1,0 +1,79 @@
+#include "storage/bandwidth_pool.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace dvc::storage {
+
+TransferId BandwidthPool::start(std::uint64_t bytes,
+                                std::function<void()> on_complete) {
+  settle();
+  const TransferId id = next_id_++;
+  transfers_.emplace(
+      id, Transfer{static_cast<double>(bytes), std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool BandwidthPool::cancel(TransferId id) {
+  settle();
+  const bool erased = transfers_.erase(id) > 0;
+  if (erased) reschedule();
+  return erased;
+}
+
+void BandwidthPool::settle() {
+  const sim::Time now = sim_->now();
+  if (!transfers_.empty() && now > last_settle_) {
+    const double progress = sim::to_seconds(now - last_settle_) * bps_ /
+                            static_cast<double>(transfers_.size());
+    for (auto& [id, t] : transfers_) {
+      t.remaining_bytes -= progress;
+      if (t.remaining_bytes < 0.0) t.remaining_bytes = 0.0;
+    }
+  }
+  last_settle_ = now;
+}
+
+void BandwidthPool::reschedule() {
+  if (pending_event_ != sim::kInvalidEvent) {
+    sim_->cancel(pending_event_);
+    pending_event_ = sim::kInvalidEvent;
+  }
+  if (transfers_.empty()) return;
+
+  double min_remaining = std::numeric_limits<double>::max();
+  for (const auto& [id, t] : transfers_) {
+    min_remaining = std::min(min_remaining, t.remaining_bytes);
+  }
+  const double per_transfer_bps =
+      bps_ / static_cast<double>(transfers_.size());
+  const auto dt = static_cast<sim::Duration>(
+      std::ceil(min_remaining / per_transfer_bps * sim::kSecond));
+
+  pending_event_ = sim_->schedule_after(dt, [this] {
+    pending_event_ = sim::kInvalidEvent;
+    settle();
+    // Collect and fire every transfer that has drained. A completion
+    // callback may start new transfers; firing after mutation keeps the
+    // container stable.
+    std::vector<std::function<void()>> done;
+    for (auto it = transfers_.begin(); it != transfers_.end();) {
+      if (it->second.remaining_bytes <= 0.5) {  // sub-byte fluid residue
+        done.push_back(std::move(it->second.on_complete));
+        it = transfers_.erase(it);
+        ++completed_;
+      } else {
+        ++it;
+      }
+    }
+    reschedule();
+    for (auto& fn : done) {
+      if (fn) fn();
+    }
+  });
+}
+
+}  // namespace dvc::storage

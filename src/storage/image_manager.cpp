@@ -1,0 +1,148 @@
+#include "storage/image_manager.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace dvc::storage {
+
+ObjectId ImageManager::register_base_image(std::string name,
+                                           std::uint64_t bytes) {
+  // Base images are pre-seeded: they exist before the simulated experiment
+  // begins, so installation is a metadata-only operation.
+  const ObjectId id =
+      store_->put_object(name, bytes, synthetic_checksum(bytes, 0, 1));
+  base_images_[name] = id;
+  return id;
+}
+
+std::optional<ObjectId> ImageManager::find_base_image(
+    const std::string& name) const {
+  const auto it = base_images_.find(name);
+  if (it == base_images_.end() || it->second == kInvalidObject) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+CheckpointSetId ImageManager::open_set(std::string label,
+                                       std::size_t members) {
+  const CheckpointSetId id = next_set_++;
+  CheckpointSet s;
+  s.id = id;
+  s.label = std::move(label);
+  s.expected_members = members;
+  sets_.emplace(id, std::move(s));
+  return id;
+}
+
+void ImageManager::add_member(CheckpointSetId set, std::uint64_t member,
+                              std::uint64_t bytes,
+                              std::function<void()> on_member_done) {
+  auto it = sets_.find(set);
+  if (it == sets_.end() || it->second.aborted) return;
+  const std::uint64_t checksum = synthetic_checksum(set, member, bytes);
+  store_->write_object("ckpt", bytes, checksum,
+                       [this, set, member, bytes,
+                        cb = std::move(on_member_done)](ObjectId obj) {
+                         auto sit = sets_.find(set);
+                         if (sit == sets_.end() || sit->second.aborted) {
+                           store_->remove_object(obj);
+                           if (cb) cb();
+                           return;
+                         }
+                         sit->second.members.push_back(
+                             MemberImage{member, obj, bytes});
+                         maybe_seal(sit->second);
+                         if (cb) cb();
+                       });
+}
+
+void ImageManager::abort_set(CheckpointSetId set) {
+  auto it = sets_.find(set);
+  if (it == sets_.end() || it->second.sealed) return;
+  it->second.aborted = true;
+  for (const auto& m : it->second.members) store_->remove_object(m.object);
+  it->second.members.clear();
+  seal_callbacks_.erase(set);
+}
+
+void ImageManager::on_sealed(CheckpointSetId set, std::function<void()> fn) {
+  const auto it = sets_.find(set);
+  if (it != sets_.end() && it->second.sealed) {
+    fn();
+    return;
+  }
+  seal_callbacks_[set].push_back(std::move(fn));
+}
+
+void ImageManager::maybe_seal(CheckpointSet& s) {
+  if (s.sealed || s.aborted || s.members.size() < s.expected_members) return;
+  s.sealed = true;
+  const auto cbs = seal_callbacks_.find(s.id);
+  if (cbs != seal_callbacks_.end()) {
+    const auto fns = std::move(cbs->second);
+    seal_callbacks_.erase(cbs);
+    for (const auto& fn : fns) fn();
+  }
+}
+
+const CheckpointSet* ImageManager::find_set(CheckpointSetId set) const {
+  const auto it = sets_.find(set);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+const CheckpointSet* ImageManager::latest_sealed(
+    const std::string& label) const {
+  const CheckpointSet* best = nullptr;
+  for (const auto& [id, s] : sets_) {
+    if (s.sealed && s.label == label) best = &s;  // map is id-ordered
+  }
+  return best;
+}
+
+void ImageManager::stage_set(CheckpointSetId set,
+                             std::function<void(bool)> on_staged) {
+  const CheckpointSet* s = find_set(set);
+  if (s == nullptr || !s->sealed) {
+    if (on_staged) on_staged(false);
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(s->members.size());
+  auto all_ok = std::make_shared<bool>(true);
+  if (*remaining == 0) {
+    if (on_staged) on_staged(true);
+    return;
+  }
+  for (const auto& m : s->members) {
+    store_->read_object(m.object,
+                        [remaining, all_ok, on_staged](bool ok) {
+                          if (!ok) *all_ok = false;
+                          if (--*remaining == 0 && on_staged) {
+                            on_staged(*all_ok);
+                          }
+                        });
+  }
+}
+
+std::uint64_t ImageManager::prune(const std::string& label,
+                                  std::size_t keep) {
+  std::vector<CheckpointSetId> sealed;
+  for (const auto& [id, s] : sets_) {
+    if (s.sealed && s.label == label) sealed.push_back(id);
+  }
+  if (sealed.size() <= keep) return 0;
+  std::uint64_t reclaimed = 0;
+  const std::size_t drop = sealed.size() - keep;
+  for (std::size_t i = 0; i < drop; ++i) {
+    auto it = sets_.find(sealed[i]);
+    for (const auto& m : it->second.members) {
+      reclaimed += m.bytes;
+      store_->remove_object(m.object);
+    }
+    sets_.erase(it);
+  }
+  return reclaimed;
+}
+
+}  // namespace dvc::storage

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/shared_store.hpp"
+
+namespace dvc::storage {
+
+/// Identifier of a checkpoint set (one coordinated snapshot of a whole
+/// virtual cluster).
+using CheckpointSetId = std::uint64_t;
+
+inline constexpr CheckpointSetId kInvalidCheckpointSet = 0;
+
+/// One member image inside a checkpoint set.
+struct MemberImage {
+  std::uint64_t member = 0;          ///< index of the VM within its VC
+  ObjectId object = kInvalidObject;  ///< backing object in the store
+  std::uint64_t bytes = 0;
+};
+
+/// A coordinated snapshot of a virtual cluster: complete only when every
+/// member image is durable. Restart must only ever use complete sets —
+/// a partial set is an inconsistent cut by construction.
+struct CheckpointSet {
+  CheckpointSetId id = kInvalidCheckpointSet;
+  std::string label;
+  std::size_t expected_members = 0;
+  std::vector<MemberImage> members;
+  sim::Time started_at = 0;
+  sim::Time sealed_at = 0;
+  bool sealed = false;
+  bool aborted = false;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t b = 0;
+    for (const auto& m : members) b += m.bytes;
+    return b;
+  }
+};
+
+/// Tracks base OS images and checkpoint sets, and stages them to nodes.
+/// This is the "image management capability to track the correct staging
+/// and restart of images" from §1 of the paper.
+class ImageManager final {
+ public:
+  explicit ImageManager(SharedStore& store) : store_(&store) {}
+
+  ImageManager(const ImageManager&) = delete;
+  ImageManager& operator=(const ImageManager&) = delete;
+
+  /// Registers a named base OS image of the given size (instantaneous:
+  /// base images are pre-seeded before experiments start).
+  ObjectId register_base_image(std::string name, std::uint64_t bytes);
+
+  [[nodiscard]] std::optional<ObjectId> find_base_image(
+      const std::string& name) const;
+
+  /// Opens a new checkpoint set expecting `members` images.
+  CheckpointSetId open_set(std::string label, std::size_t members);
+
+  /// Streams one member's image into the store; on durability the image is
+  /// recorded in the set and, if it was the last one, the set seals.
+  /// `on_member_done` fires when this member's image is durable.
+  void add_member(CheckpointSetId set, std::uint64_t member,
+                  std::uint64_t bytes,
+                  std::function<void()> on_member_done = {});
+
+  /// Marks a set as aborted (e.g. a save failed mid-flight). Aborted sets
+  /// never seal and their images are garbage-collected.
+  void abort_set(CheckpointSetId set);
+
+  /// Registers a callback fired when the set seals (all members durable).
+  void on_sealed(CheckpointSetId set, std::function<void()> fn);
+
+  [[nodiscard]] const CheckpointSet* find_set(CheckpointSetId set) const;
+
+  /// Latest sealed set with the given label, if any — what restart uses.
+  [[nodiscard]] const CheckpointSet* latest_sealed(
+      const std::string& label) const;
+
+  /// Stages every member image of a sealed set toward compute nodes
+  /// (a contended read per member); `on_staged(ok)` fires when all reads
+  /// finish, ok = all checksums verified.
+  void stage_set(CheckpointSetId set, std::function<void(bool)> on_staged);
+
+  /// Deletes all sealed sets with this label except the most recent
+  /// `keep`. Returns bytes reclaimed.
+  std::uint64_t prune(const std::string& label, std::size_t keep);
+
+  [[nodiscard]] SharedStore& store() noexcept { return *store_; }
+
+ private:
+  void maybe_seal(CheckpointSet& s);
+
+  SharedStore* store_;
+  std::unordered_map<std::string, ObjectId> base_images_;
+  CheckpointSetId next_set_ = 1;
+  std::map<CheckpointSetId, CheckpointSet> sets_;
+  std::unordered_map<CheckpointSetId, std::vector<std::function<void()>>>
+      seal_callbacks_;
+};
+
+}  // namespace dvc::storage

@@ -1,0 +1,95 @@
+#include "storage/shared_store.hpp"
+
+#include <utility>
+
+namespace dvc::storage {
+
+std::uint64_t synthetic_checksum(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint64_t v : {a, b, c}) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+void SharedStore::write_object(std::string name, std::uint64_t bytes,
+                               std::uint64_t checksum,
+                               std::function<void(ObjectId)> on_complete) {
+  const sim::Time started = sim_->now();
+  // Reserve the id now so concurrent writers get distinct ids
+  // deterministically in call order.
+  const ObjectId id = next_id_++;
+  sim_->schedule_after(cfg_.op_overhead, [this, id, started,
+                                          name = std::move(name), bytes,
+                                          checksum,
+                                          cb = std::move(on_complete)]() mutable {
+    writes_.start(bytes, [this, id, started, name = std::move(name), bytes,
+                          checksum, cb = std::move(cb)] {
+      ObjectInfo info;
+      info.id = id;
+      info.name = name;
+      info.bytes = bytes;
+      info.checksum = checksum;
+      info.created_at = sim_->now();
+      objects_.emplace(id, info);
+      bytes_stored_ += bytes;
+      bytes_written_total_ += bytes;
+      write_times_.add(sim::to_seconds(sim_->now() - started));
+      if (cb) cb(id);
+    });
+  });
+}
+
+ObjectId SharedStore::put_object(std::string name, std::uint64_t bytes,
+                                 std::uint64_t checksum) {
+  const ObjectId id = next_id_++;
+  ObjectInfo info;
+  info.id = id;
+  info.name = std::move(name);
+  info.bytes = bytes;
+  info.checksum = checksum;
+  info.created_at = sim_->now();
+  objects_.emplace(id, info);
+  bytes_stored_ += bytes;
+  return id;
+}
+
+void SharedStore::read_object(ObjectId id,
+                              std::function<void(bool)> on_complete) {
+  sim_->schedule_after(cfg_.op_overhead, [this, id,
+                                          cb = std::move(on_complete)] {
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) {
+      if (cb) cb(false);
+      return;
+    }
+    const std::uint64_t expect = it->second.checksum;
+    const std::uint64_t bytes = it->second.bytes;
+    reads_.start(bytes, [this, id, expect, cb = std::move(cb)] {
+      const auto again = objects_.find(id);
+      const bool ok = again != objects_.end() &&
+                      again->second.checksum == expect;
+      if (cb) cb(ok);
+    });
+  });
+}
+
+bool SharedStore::remove_object(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return false;
+  bytes_stored_ -= it->second.bytes;
+  objects_.erase(it);
+  return true;
+}
+
+std::optional<ObjectInfo> SharedStore::info(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dvc::storage

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "storage/bandwidth_pool.hpp"
+
+namespace dvc::storage {
+
+/// Identifier of a stored object (VM image or checkpoint image).
+using ObjectId = std::uint64_t;
+
+inline constexpr ObjectId kInvalidObject = 0;
+
+/// Metadata of an object held by the store.
+struct ObjectInfo {
+  ObjectId id = kInvalidObject;
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t checksum = 0;
+  sim::Time created_at = 0;
+};
+
+/// Deterministic FNV-1a over the object identity; stands in for a real
+/// content digest so integrity checks have something to verify.
+[[nodiscard]] std::uint64_t synthetic_checksum(std::uint64_t a,
+                                               std::uint64_t b,
+                                               std::uint64_t c) noexcept;
+
+/// The reliable shared store (NFS-server stand-in) that holds VM images and
+/// checkpoint sets. Reads and writes contend within separate bandwidth
+/// pools; every operation pays a fixed per-op overhead (RPC + fsync).
+///
+/// The paper's §1 notes that single-node VC checkpointing needs "only a
+/// reliable storage system ... and an image management capability"; this
+/// class plus ImageManager is that substrate.
+class SharedStore final {
+ public:
+  struct Config {
+    double write_bps = 200e6;  ///< aggregate write bandwidth (bytes/s)
+    double read_bps = 400e6;   ///< aggregate read bandwidth (bytes/s)
+    sim::Duration op_overhead = 5 * sim::kMillisecond;
+  };
+
+  SharedStore(sim::Simulation& sim, Config cfg)
+      : sim_(&sim),
+        cfg_(cfg),
+        writes_(sim, cfg.write_bps),
+        reads_(sim, cfg.read_bps) {}
+
+  SharedStore(const SharedStore&) = delete;
+  SharedStore& operator=(const SharedStore&) = delete;
+
+  /// Streams `bytes` into a new object. `on_complete` receives the object
+  /// id once the data is durable.
+  void write_object(std::string name, std::uint64_t bytes,
+                    std::uint64_t checksum,
+                    std::function<void(ObjectId)> on_complete);
+
+  /// Instantaneously installs an object (pre-seeded content such as base OS
+  /// images that exist before the simulated experiment begins).
+  ObjectId put_object(std::string name, std::uint64_t bytes,
+                      std::uint64_t checksum);
+
+  /// Streams an object out. `on_complete` receives true iff the object
+  /// exists and its checksum verifies.
+  void read_object(ObjectId id, std::function<void(bool)> on_complete);
+
+  /// Drops an object (instantaneous metadata operation).
+  bool remove_object(ObjectId id);
+
+  [[nodiscard]] std::optional<ObjectInfo> info(ObjectId id) const;
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
+    return bytes_stored_;
+  }
+  /// Monotonic total of bytes ever written (survives pruning).
+  [[nodiscard]] std::uint64_t bytes_written_total() const noexcept {
+    return bytes_written_total_;
+  }
+
+  [[nodiscard]] BandwidthPool& write_pool() noexcept { return writes_; }
+  [[nodiscard]] BandwidthPool& read_pool() noexcept { return reads_; }
+
+  /// Observed write completion times (seconds), for bench reporting.
+  [[nodiscard]] const sim::SummaryStats& write_time_stats() const noexcept {
+    return write_times_;
+  }
+
+ private:
+  sim::Simulation* sim_;
+  Config cfg_;
+  BandwidthPool writes_;
+  BandwidthPool reads_;
+  ObjectId next_id_ = 1;
+  std::unordered_map<ObjectId, ObjectInfo> objects_;
+  std::uint64_t bytes_stored_ = 0;
+  std::uint64_t bytes_written_total_ = 0;
+  sim::SummaryStats write_times_{/*keep_samples=*/true};
+};
+
+}  // namespace dvc::storage

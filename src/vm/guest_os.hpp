@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dvc::vm {
+
+/// Process identifier inside a guest.
+using Pid = std::uint32_t;
+
+inline constexpr Pid kInvalidPid = 0;
+
+/// The paper's §2 argues about checkpoint *content*: "Open files, sockets,
+/// memory state, application code, etc. must all be taken into account
+/// when saving the state of an application." This is that content, as a
+/// small in-guest operating-system model: a process table with memory
+/// segments, file descriptors and sockets, plus kernel-side buffers —
+/// enough to *measure* what each checkpoint method must write instead of
+/// assuming it.
+class GuestOs final {
+ public:
+  enum class SegmentKind : std::uint8_t { kCode, kHeap, kStack, kShared };
+
+  struct MemorySegment {
+    SegmentKind kind = SegmentKind::kHeap;
+    std::uint64_t bytes = 0;
+  };
+
+  struct OpenFile {
+    std::string path;
+    std::uint64_t buffered_bytes = 0;  ///< page-cache/dirty-buffer share
+  };
+
+  struct Socket {
+    std::uint32_t peer = 0;
+    std::uint64_t send_buffer_bytes = 0;
+    std::uint64_t recv_buffer_bytes = 0;
+  };
+
+  struct Process {
+    Pid pid = kInvalidPid;
+    std::string name;
+    std::vector<MemorySegment> segments;
+    std::vector<OpenFile> files;
+    std::vector<Socket> sockets;
+  };
+
+  /// Base kernel working set (text, page tables, slab) that exists even
+  /// with no processes; part of every whole-guest image.
+  explicit GuestOs(std::uint64_t kernel_base_bytes = 64ull << 20)
+      : kernel_base_bytes_(kernel_base_bytes) {}
+
+  // ---- process lifecycle -------------------------------------------------
+
+  Pid spawn(std::string name) {
+    const Pid pid = next_pid_++;
+    Process p;
+    p.pid = pid;
+    p.name = std::move(name);
+    // Every process carries code + stack even before it allocates.
+    p.segments.push_back({SegmentKind::kCode, 8ull << 20});
+    p.segments.push_back({SegmentKind::kStack, 1ull << 20});
+    processes_.emplace(pid, std::move(p));
+    return pid;
+  }
+
+  bool exit_process(Pid pid) { return processes_.erase(pid) > 0; }
+
+  [[nodiscard]] const Process* find(Pid pid) const {
+    const auto it = processes_.find(pid);
+    return it == processes_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t process_count() const noexcept {
+    return processes_.size();
+  }
+
+  // ---- resource registration ---------------------------------------------
+
+  void add_segment(Pid pid, SegmentKind kind, std::uint64_t bytes) {
+    processes_.at(pid).segments.push_back({kind, bytes});
+  }
+
+  /// Replaces the process's heap with `bytes` (the application's working
+  /// set as it grows/shrinks).
+  void set_heap(Pid pid, std::uint64_t bytes) {
+    Process& p = processes_.at(pid);
+    for (MemorySegment& s : p.segments) {
+      if (s.kind == SegmentKind::kHeap) {
+        s.bytes = bytes;
+        return;
+      }
+    }
+    p.segments.push_back({SegmentKind::kHeap, bytes});
+  }
+
+  void open_file(Pid pid, std::string path, std::uint64_t buffered) {
+    processes_.at(pid).files.push_back({std::move(path), buffered});
+  }
+
+  void open_socket(Pid pid, std::uint32_t peer, std::uint64_t send_buf,
+                   std::uint64_t recv_buf) {
+    processes_.at(pid).sockets.push_back({peer, send_buf, recv_buf});
+  }
+
+  // ---- the §2 accounting: what must each method write? --------------------
+
+  /// Application-level: only the data the application knows it needs —
+  /// its heap (working set). Code, stacks, files, sockets are all
+  /// reconstructed by the restarted program.
+  [[nodiscard]] std::uint64_t app_level_bytes(Pid pid) const {
+    std::uint64_t b = 0;
+    for (const MemorySegment& s : processes_.at(pid).segments) {
+      if (s.kind == SegmentKind::kHeap) b += s.bytes;
+    }
+    return b;
+  }
+
+  /// User-level (libckpt-style): "this is much more information to save
+  /// ... the library doesn't know which data is necessary" — the whole
+  /// address space plus user-visible file state.
+  [[nodiscard]] std::uint64_t user_level_bytes(Pid pid) const {
+    const Process& p = processes_.at(pid);
+    std::uint64_t b = 0;
+    for (const MemorySegment& s : p.segments) b += s.bytes;
+    for (const OpenFile& f : p.files) b += f.buffered_bytes;
+    return b;
+  }
+
+  /// Kernel-level (CRAK-style): the user image plus in-kernel state —
+  /// socket buffers and per-process kernel bookkeeping.
+  [[nodiscard]] std::uint64_t kernel_level_bytes(Pid pid) const {
+    const Process& p = processes_.at(pid);
+    std::uint64_t b = user_level_bytes(pid);
+    for (const Socket& s : p.sockets) {
+      b += s.send_buffer_bytes + s.recv_buffer_bytes;
+    }
+    b += kPerProcessKernelBytes;
+    return b;
+  }
+
+  /// VM-level (DVC): everything the guest kernel considers in use —
+  /// kernel base + every process's kernel-level footprint. (A real `xm
+  /// save` writes all of guest RAM; resident_bytes() is the lower bound a
+  /// ballooned/compacted save could reach.)
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    std::uint64_t b = kernel_base_bytes_;
+    for (const auto& [pid, p] : processes_) b += kernel_level_bytes(pid);
+    return b;
+  }
+
+ private:
+  static constexpr std::uint64_t kPerProcessKernelBytes = 4ull << 20;
+
+  std::uint64_t kernel_base_bytes_;
+  Pid next_pid_ = 1;
+  std::map<Pid, Process> processes_;
+};
+
+}  // namespace dvc::vm

@@ -1,0 +1,177 @@
+#include "vm/hypervisor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dvc::vm {
+
+Hypervisor::Hypervisor(sim::Simulation& sim, hw::Fabric& fabric,
+                       hw::NodeId node, Config cfg, sim::Rng rng)
+    : sim_(&sim), fabric_(&fabric), node_(node), cfg_(cfg), rng_(rng) {}
+
+bool Hypervisor::node_failed() const { return fabric_->node(node_).failed(); }
+
+sim::Duration Hypervisor::cmd_latency() {
+  return rng_.exponential_duration(cfg_.cmd_latency_mean);
+}
+
+void Hypervisor::boot_domain(VirtualMachine& vm,
+                             std::function<void()> on_booted) {
+  if (node_failed()) return;
+  vm.place_on(fabric_->node(node_));
+  residents_.insert(&vm);
+  sim_->schedule_after(cfg_.boot_time,
+                       [this, &vm, cb = std::move(on_booted)] {
+                         if (node_failed() ||
+                             vm.state() == DomainState::kDead) {
+                           return;
+                         }
+                         vm.resume();
+                         if (cb) cb();
+                       });
+}
+
+void Hypervisor::save_domain(VirtualMachine& vm,
+                             storage::ImageManager& images,
+                             storage::CheckpointSetId set,
+                             std::uint64_t member,
+                             std::function<void(bool, std::any)> on_durable,
+                             bool incremental) {
+  sim_->schedule_after(cmd_latency(), [this, &vm, &images, set, member,
+                                       incremental,
+                                       cb = std::move(on_durable)] {
+    if (node_failed() || vm.state() == DomainState::kDead) {
+      if (cb) cb(false, std::any{});
+      return;
+    }
+    vm.pause();
+    // The guest is frozen: image its software state now. Everything the
+    // snapshot sees (application position, TCP stacks) is exactly what a
+    // byte copy of guest memory would contain.
+    std::any app_state;
+    if (vm.guest_software() != nullptr) {
+      app_state = vm.guest_software()->snapshot_state();
+    }
+    // Full image, or just the pages dirtied since the last one.
+    constexpr std::uint64_t kDirtyMapOverhead = 4ull << 20;
+    const std::uint64_t image_bytes =
+        (incremental && vm.has_image_baseline())
+            ? std::min(vm.config().ram_bytes,
+                       vm.dirty_bytes_since_last_image() +
+                           kDirtyMapOverhead)
+            : vm.config().ram_bytes;
+    sim_->schedule_after(
+        cfg_.save_overhead,
+        [this, &vm, &images, set, member, image_bytes,
+         state = std::move(app_state), cb = std::move(cb)] {
+          if (node_failed() || vm.state() == DomainState::kDead) {
+            if (cb) cb(false, std::any{});
+            return;
+          }
+          images.add_member(
+              set, member, image_bytes,
+              [this, &vm, state = std::move(state), cb = std::move(cb)] {
+                if (vm.state() == DomainState::kDead) {
+                  if (cb) cb(false, std::any{});
+                  return;
+                }
+                vm.mark_saved();
+                vm.mark_imaged();
+                ++saves_completed_;
+                if (cb) cb(true, std::move(state));
+              });
+        });
+  });
+}
+
+void Hypervisor::resume_domain(VirtualMachine& vm) {
+  if (node_failed() || vm.state() == DomainState::kDead) return;
+  vm.resume();
+}
+
+void Hypervisor::restore_domain(VirtualMachine& vm,
+                                storage::ImageManager& images,
+                                storage::CheckpointSetId set,
+                                std::uint64_t member, std::any app_state,
+                                std::function<void(bool)> on_done) {
+  const storage::CheckpointSet* cs = images.find_set(set);
+  if (cs == nullptr || !cs->sealed) {
+    if (on_done) on_done(false);
+    return;
+  }
+  const storage::MemberImage* image = nullptr;
+  for (const auto& m : cs->members) {
+    if (m.member == member) {
+      image = &m;
+      break;
+    }
+  }
+  if (image == nullptr) {
+    if (on_done) on_done(false);
+    return;
+  }
+  vm.place_on(fabric_->node(node_));
+  residents_.insert(&vm);
+  images.store().read_object(
+      image->object,
+      [this, &vm, state = std::move(app_state),
+       cb = std::move(on_done)](bool ok) mutable {
+        if (!ok || node_failed()) {
+          if (cb) cb(false);
+          return;
+        }
+        sim_->schedule_after(cfg_.restore_overhead,
+                             [this, &vm, state = std::move(state),
+                              cb = std::move(cb)] {
+                               if (node_failed()) {
+                                 if (cb) cb(false);
+                                 return;
+                               }
+                               vm.rollback_and_resume(state);
+                               ++restores_completed_;
+                               if (cb) cb(true);
+                             });
+      });
+}
+
+void Hypervisor::evict(VirtualMachine& vm) {
+  if (vm.state() == DomainState::kRunning) {
+    throw std::logic_error("cannot evict a running domain");
+  }
+  residents_.erase(&vm);
+}
+
+void Hypervisor::adopt(VirtualMachine& vm) {
+  if (vm.state() == DomainState::kRunning) {
+    throw std::logic_error("cannot adopt a running domain");
+  }
+  vm.place_on(fabric_->node(node_));
+  residents_.insert(&vm);
+}
+
+void Hypervisor::destroy_domain(VirtualMachine& vm) {
+  residents_.erase(&vm);
+  vm.kill();
+}
+
+void Hypervisor::on_node_failure() {
+  // Everything resident dies with the node; saved images in the shared
+  // store survive (that is the whole point of DVC recovery).
+  const auto residents = residents_;
+  residents_.clear();
+  for (VirtualMachine* vm : residents) vm->kill();
+}
+
+HypervisorFleet::HypervisorFleet(sim::Simulation& sim, hw::Fabric& fabric,
+                                 Hypervisor::Config cfg, sim::Rng rng) {
+  fleet_.reserve(fabric.node_count());
+  for (hw::NodeId n = 0; n < fabric.node_count(); ++n) {
+    fleet_.push_back(std::make_unique<Hypervisor>(
+        sim, fabric, n, cfg, rng.fork(0x4859 + n)));
+  }
+  fabric.subscribe_failures([this](hw::NodeId n) {
+    fleet_.at(n)->on_node_failure();
+  });
+}
+
+}  // namespace dvc::vm

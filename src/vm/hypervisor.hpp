@@ -1,0 +1,124 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "storage/image_manager.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace dvc::vm {
+
+/// The per-node virtual machine monitor (Xen dom0 stand-in). It hosts
+/// domains, executes save/restore against the shared store, and kills its
+/// residents when the underlying node dies.
+class Hypervisor final {
+ public:
+  struct Config {
+    sim::Duration boot_time = 15 * sim::kSecond;
+    sim::Duration shutdown_time = 2 * sim::kSecond;
+    /// Fixed device-quiesce cost paid before guest memory starts streaming.
+    sim::Duration save_overhead = 200 * sim::kMillisecond;
+    sim::Duration restore_overhead = 200 * sim::kMillisecond;
+    /// Local `xm save` command-processing latency (exponential mean).
+    sim::Duration cmd_latency_mean = 2 * sim::kMillisecond;
+  };
+
+  Hypervisor(sim::Simulation& sim, hw::Fabric& fabric, hw::NodeId node,
+             Config cfg, sim::Rng rng);
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  [[nodiscard]] hw::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] bool node_failed() const;
+  [[nodiscard]] std::size_t resident_count() const noexcept {
+    return residents_.size();
+  }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Places and boots a domain on this node. `on_booted` fires when the
+  /// guest is running (or never, if the node dies first).
+  void boot_domain(VirtualMachine& vm, std::function<void()> on_booted);
+
+  /// Pauses, images, and seals one domain into a checkpoint set. The guest
+  /// freezes after the local command latency; its software state is
+  /// captured at that instant (that is what imaging guest memory means).
+  /// `on_durable(ok, app_state)` fires when the image is in the store (the
+  /// domain is then in state kSaved). The caller decides when to resume.
+  ///
+  /// With `incremental` set (and a prior full image), only the memory the
+  /// guest dirtied since its last image is written — much cheaper, but a
+  /// restore must stage the whole chain back to the last full image.
+  void save_domain(VirtualMachine& vm, storage::ImageManager& images,
+                   storage::CheckpointSetId set, std::uint64_t member,
+                   std::function<void(bool, std::any)> on_durable,
+                   bool incremental = false);
+
+  /// Thaws a paused or saved domain.
+  void resume_domain(VirtualMachine& vm);
+
+  /// Adopts a domain previously checkpointed elsewhere: stages its image
+  /// from the store, rolls the guest back to `app_state`, and resumes it on
+  /// this node. `on_done(ok)` reports staging integrity.
+  void restore_domain(VirtualMachine& vm, storage::ImageManager& images,
+                      storage::CheckpointSetId set, std::uint64_t member,
+                      std::any app_state, std::function<void(bool)> on_done);
+
+  /// Removes a domain from this node without destroying it (migration
+  /// hand-off); the domain must be paused, saved, or dead.
+  void evict(VirtualMachine& vm);
+
+  /// Adopts a frozen in-memory domain from another hypervisor (the
+  /// receiving end of a live migration — no image staging involved).
+  void adopt(VirtualMachine& vm);
+
+  /// Destroys a domain (graceful teardown at job end).
+  void destroy_domain(VirtualMachine& vm);
+
+  [[nodiscard]] std::uint64_t saves_completed() const noexcept {
+    return saves_completed_;
+  }
+  [[nodiscard]] std::uint64_t restores_completed() const noexcept {
+    return restores_completed_;
+  }
+
+  /// Kills every resident domain; wired to the fabric's failure feed.
+  void on_node_failure();
+
+ private:
+  [[nodiscard]] sim::Duration cmd_latency();
+
+  sim::Simulation* sim_;
+  hw::Fabric* fabric_;
+  hw::NodeId node_;
+  Config cfg_;
+  sim::Rng rng_;
+  std::unordered_set<VirtualMachine*> residents_;
+  std::uint64_t saves_completed_ = 0;
+  std::uint64_t restores_completed_ = 0;
+};
+
+/// One hypervisor per node of a fabric, with failure wiring installed.
+class HypervisorFleet final {
+ public:
+  HypervisorFleet(sim::Simulation& sim, hw::Fabric& fabric,
+                  Hypervisor::Config cfg, sim::Rng rng);
+
+  [[nodiscard]] Hypervisor& on_node(hw::NodeId node) {
+    return *fleet_.at(node);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return fleet_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Hypervisor>> fleet_;
+};
+
+}  // namespace dvc::vm

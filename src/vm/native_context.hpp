@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+
+#include "hw/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "vm/execution_context.hpp"
+
+namespace dvc::vm {
+
+/// Application execution directly on a physical node — the unvirtualised
+/// baseline for the overhead experiments (T3). No para-virt tax, no freeze
+/// capability: a node failure simply destroys the work.
+class NativeContext final : public ExecutionContext {
+ public:
+  NativeContext(sim::Simulation& sim, hw::Fabric& fabric, hw::NodeId node)
+      : sim_(&sim), fabric_(&fabric), node_(node) {}
+
+  [[nodiscard]] net::HostId host() const override {
+    return fabric_->node(node_).host();
+  }
+  [[nodiscard]] double flops() const override {
+    return fabric_->node(node_).spec().flops;
+  }
+
+  GuestTimerId schedule(sim::Duration delay,
+                        std::function<void()> fn) override {
+    const GuestTimerId id = next_id_++;
+    const sim::EventId ev =
+        sim_->schedule_after(delay, [this, id, fn = std::move(fn)] {
+          pending_.erase(id);
+          fn();
+        });
+    pending_.emplace(id, Pending{ev, sim_->now() + delay});
+    return id;
+  }
+
+  bool cancel(GuestTimerId id) override {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return false;
+    sim_->cancel(it->second.event);
+    pending_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] sim::Duration remaining(GuestTimerId id) const override {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return 0;
+    const sim::Duration rem = it->second.due_at - sim_->now();
+    return rem < 0 ? 0 : rem;
+  }
+
+  [[nodiscard]] sim::Time wall_now() const override { return sim_->now(); }
+
+  [[nodiscard]] bool running() const override {
+    return !fabric_->node(node_).failed();
+  }
+
+ private:
+  struct Pending {
+    sim::EventId event;
+    sim::Time due_at;
+  };
+
+  sim::Simulation* sim_;
+  hw::Fabric* fabric_;
+  hw::NodeId node_;
+  GuestTimerId next_id_ = 1;
+  std::map<GuestTimerId, Pending> pending_;
+};
+
+}  // namespace dvc::vm

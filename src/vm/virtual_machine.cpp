@@ -1,0 +1,197 @@
+#include "vm/virtual_machine.hpp"
+
+#include <utility>
+
+namespace dvc::vm {
+
+VirtualMachine::VirtualMachine(sim::Simulation& sim, net::Network& net,
+                               VmId id, GuestConfig cfg)
+    : sim_(&sim),
+      net_(&net),
+      id_(id),
+      cfg_(std::move(cfg)),
+      vnic_(net.new_host()),
+      pause_started_(sim.now()) {
+  // Domains are created frozen; boot (Hypervisor::boot_domain) resumes
+  // them, so the vNIC starts dark.
+  net_->set_host_up(vnic_, false);
+}
+
+VirtualMachine::~VirtualMachine() { drop_timers(); }
+
+GuestTimerId VirtualMachine::schedule(sim::Duration delay,
+                                      std::function<void()> fn) {
+  if (state_ == DomainState::kDead) return kInvalidGuestTimer;
+  const GuestTimerId id = next_timer_++;
+  GuestTimer t;
+  t.remaining = delay < 0 ? 0 : delay;
+  t.fn = std::move(fn);
+  if (state_ == DomainState::kRunning) {
+    t.due_at = sim_->now() + t.remaining;
+    t.event = sim_->schedule_after(t.remaining, [this, id] {
+      auto it = timers_.find(id);
+      if (it == timers_.end()) return;
+      auto fn = std::move(it->second.fn);
+      timers_.erase(it);
+      fn();
+    });
+  } else {
+    t.due_at = 0;
+    t.event = sim::kInvalidEvent;  // frozen from birth; armed on resume
+  }
+  timers_.emplace(id, std::move(t));
+  return id;
+}
+
+bool VirtualMachine::cancel(GuestTimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  if (it->second.event != sim::kInvalidEvent) sim_->cancel(it->second.event);
+  timers_.erase(it);
+  return true;
+}
+
+sim::Duration VirtualMachine::remaining(GuestTimerId id) const {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return 0;
+  if (it->second.event == sim::kInvalidEvent) return it->second.remaining;
+  const sim::Duration rem = it->second.due_at - sim_->now();
+  return rem < 0 ? 0 : rem;
+}
+
+sim::Time VirtualMachine::wall_now() const {
+  // Non-virtualised guests track host time, so a save/restore gap appears
+  // as a forward jump in the application's clock (the paper's inflated-HPL
+  // effect). Time-virtualised guests subtract all frozen intervals.
+  if (!cfg_.virtualize_time) return sim_->now();
+  return sim_->now() - total_frozen();
+}
+
+sim::Duration VirtualMachine::total_frozen() const noexcept {
+  sim::Duration f = frozen_accum_;
+  if (state_ != DomainState::kRunning && state_ != DomainState::kDead) {
+    f += sim_->now() - pause_started_;
+  }
+  return f;
+}
+
+void VirtualMachine::place_on(const hw::PhysicalNode& node) {
+  node_ = node.id();
+  flops_ = node.spec().flops * (1.0 - node.spec().virt_overhead);
+}
+
+void VirtualMachine::pause() {
+  if (state_ != DomainState::kRunning) return;
+  state_ = DomainState::kPaused;
+  pause_started_ = sim_->now();
+  ++pauses_;
+  net_->set_host_up(vnic_, false);
+  freeze_timers();
+}
+
+void VirtualMachine::resume() {
+  if (state_ != DomainState::kPaused && state_ != DomainState::kSaved) {
+    return;
+  }
+  const sim::Duration gap = sim_->now() - pause_started_;
+  frozen_accum_ += gap;
+  const bool was_booted = has_run_;
+  has_run_ = true;
+  state_ = DomainState::kRunning;
+  net_->set_host_up(vnic_, true);
+  thaw_timers();
+  // The watchdog only exists once the guest kernel has run; the initial
+  // boot freeze is not a lost timer tick.
+  if (was_booted && cfg_.watchdog_enabled && gap > cfg_.watchdog_period) {
+    ++watchdog_timeouts_;
+    log_kernel("watchdog: BUG: soft lockup - CPU stuck for " +
+               std::to_string(sim::to_seconds(gap)) + "s");
+    log_kernel("watchdog: timer tick lost across suspend/resume");
+  }
+}
+
+void VirtualMachine::mark_saved() {
+  if (state_ == DomainState::kPaused) state_ = DomainState::kSaved;
+}
+
+void VirtualMachine::kill() {
+  if (state_ == DomainState::kDead) return;
+  if (state_ == DomainState::kRunning) pause_started_ = sim_->now();
+  state_ = DomainState::kDead;
+  net_->set_host_up(vnic_, false);
+  drop_timers();
+  if (software_ != nullptr) software_->on_killed();
+}
+
+void VirtualMachine::rollback_and_resume(const std::any& app_state) {
+  drop_timers();
+  has_run_ = true;  // a checkpoint only exists for a guest that has run
+  state_ = DomainState::kRunning;
+  net_->set_host_up(vnic_, true);
+  // The restored incarnation's frozen interval spans from the pause that
+  // produced the checkpoint to now; we fold it in so wall_now() semantics
+  // stay correct for time-virtualised guests.
+  frozen_accum_ += sim_->now() - pause_started_;
+  if (cfg_.watchdog_enabled) {
+    ++watchdog_timeouts_;
+    log_kernel("watchdog: timer tick lost across restore");
+  }
+  if (software_ != nullptr) software_->restore_state(app_state);
+}
+
+std::uint64_t VirtualMachine::dirty_bytes_since_last_image() const {
+  if (!imaged_once_) return cfg_.ram_bytes;
+  // Dirtying only happens while the guest actually runs.
+  const sim::Duration elapsed = sim_->now() - imaged_at_;
+  const sim::Duration frozen = total_frozen() - frozen_at_image_;
+  const sim::Duration running = elapsed > frozen ? elapsed - frozen : 0;
+  const double dirty = cfg_.dirty_rate_bps * sim::to_seconds(running);
+  return std::min(cfg_.ram_bytes,
+                  static_cast<std::uint64_t>(dirty));
+}
+
+void VirtualMachine::mark_imaged() {
+  imaged_once_ = true;
+  imaged_at_ = sim_->now();
+  frozen_at_image_ = total_frozen();
+}
+
+void VirtualMachine::log_kernel(std::string msg) {
+  ++kernel_messages_total_;
+  kernel_log_.push_back(std::move(msg));
+  if (kernel_log_.size() > kKernelLogCap) kernel_log_.pop_front();
+}
+
+void VirtualMachine::freeze_timers() {
+  for (auto& [id, t] : timers_) {
+    if (t.event == sim::kInvalidEvent) continue;
+    sim_->cancel(t.event);
+    t.event = sim::kInvalidEvent;
+    t.remaining = t.due_at - sim_->now();
+    if (t.remaining < 0) t.remaining = 0;
+  }
+}
+
+void VirtualMachine::thaw_timers() {
+  for (auto& [id, t] : timers_) {
+    if (t.event != sim::kInvalidEvent) continue;
+    t.due_at = sim_->now() + t.remaining;
+    const GuestTimerId tid = id;
+    t.event = sim_->schedule_after(t.remaining, [this, tid] {
+      auto it = timers_.find(tid);
+      if (it == timers_.end()) return;
+      auto fn = std::move(it->second.fn);
+      timers_.erase(it);
+      fn();
+    });
+  }
+}
+
+void VirtualMachine::drop_timers() {
+  for (auto& [id, t] : timers_) {
+    if (t.event != sim::kInvalidEvent) sim_->cancel(t.event);
+  }
+  timers_.clear();
+}
+
+}  // namespace dvc::vm

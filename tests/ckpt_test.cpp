@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "ckpt/cocheck.hpp"
+#include "ckpt/interval.hpp"
+#include "ckpt/ledger.hpp"
+#include "ckpt/lsc.hpp"
+#include "ckpt/methods.hpp"
+#include "testbed.hpp"
+
+namespace dvc::ckpt {
+namespace {
+
+using test::TestBed;
+
+// ---------------------------------------------------------------------------
+// Method models (paper §2 taxonomy)
+
+TEST(MethodsTest, FootprintOrderingMatchesTaxonomy) {
+  const app::WorkloadSpec hpl = app::make_hpl(8192, 1);
+  vm::GuestConfig guest;
+  guest.ram_bytes = 2ull << 30;
+  const auto app_fp = footprint(MethodKind::kApplication, hpl, guest);
+  const auto usr_fp = footprint(MethodKind::kUserLevel, hpl, guest);
+  const auto krn_fp = footprint(MethodKind::kKernelLevel, hpl, guest);
+  const auto vm_fp = footprint(MethodKind::kVmLevel, hpl, guest);
+  EXPECT_LT(app_fp.bytes, usr_fp.bytes);
+  EXPECT_LT(usr_fp.bytes, krn_fp.bytes);
+  EXPECT_LT(krn_fp.bytes, vm_fp.bytes);
+  EXPECT_EQ(vm_fp.bytes, guest.ram_bytes);
+}
+
+TEST(MethodsTest, ApplicabilityRules) {
+  vm::GuestConfig guest;
+  const app::WorkloadSpec hpl = app::make_hpl(4096, 8);      // has app ckpt
+  const app::WorkloadSpec ptrans = app::make_ptrans(4096, 8);  // does not
+  const app::WorkloadSpec seq = app::make_sequential(1e12);
+
+  EXPECT_TRUE(footprint(MethodKind::kApplication, hpl, guest).applicable);
+  EXPECT_FALSE(
+      footprint(MethodKind::kApplication, ptrans, guest).applicable);
+  // User/kernel level cannot cut parallel network state (§2.1).
+  EXPECT_FALSE(footprint(MethodKind::kUserLevel, hpl, guest).applicable);
+  EXPECT_TRUE(footprint(MethodKind::kUserLevel, seq, guest).applicable);
+  EXPECT_FALSE(footprint(MethodKind::kKernelLevel, ptrans, guest).applicable);
+  // VM level is always applicable — DVC's whole point.
+  EXPECT_TRUE(footprint(MethodKind::kVmLevel, hpl, guest).applicable);
+  EXPECT_TRUE(footprint(MethodKind::kVmLevel, ptrans, guest).applicable);
+}
+
+TEST(MethodsTest, ProfilesMatchPaperDiscussion) {
+  EXPECT_TRUE(profile(MethodKind::kApplication).requires_app_code);
+  EXPECT_FALSE(profile(MethodKind::kApplication).transparent_to_app);
+  EXPECT_TRUE(profile(MethodKind::kUserLevel).requires_relink);
+  EXPECT_TRUE(profile(MethodKind::kKernelLevel).transparent_to_app);
+  const MethodProfile dvc_vm = profile(MethodKind::kVmLevel);
+  EXPECT_TRUE(dvc_vm.transparent_to_app);
+  EXPECT_FALSE(dvc_vm.requires_relink);
+  EXPECT_TRUE(dvc_vm.handles_parallel);
+  EXPECT_TRUE(dvc_vm.saves_kernel_state);
+}
+
+TEST(MethodsTest, EstimateTimeScalesWithBytes) {
+  Footprint f{1'000'000'000, true};
+  EXPECT_NEAR(sim::to_seconds(estimate_time(f, 1e8)), 10.0, 1e-6);
+  Footprint na{1'000'000'000, false};
+  EXPECT_EQ(estimate_time(na, 1e8), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-interval theory
+
+TEST(IntervalTest, YoungMatchesClosedForm) {
+  // sqrt(2 * 8 * 900) = 120 s.
+  EXPECT_NEAR(sim::to_seconds(young_interval(sim::from_seconds(8.0),
+                                             sim::from_seconds(900.0))),
+              120.0, 0.01);
+  EXPECT_EQ(young_interval(0, sim::kSecond), 0);
+  EXPECT_EQ(young_interval(sim::kSecond, 0), 0);
+}
+
+TEST(IntervalTest, DalyRefinesYoungDownward) {
+  const auto c = sim::from_seconds(8.0);
+  const auto m = sim::from_seconds(900.0);
+  // Daly subtracts ~C from Young's estimate at small C/M.
+  EXPECT_LT(daly_interval(c, m), young_interval(c, m));
+  EXPECT_GT(daly_interval(c, m), young_interval(c, m) - 2 * c);
+  // Degenerate regime: checkpointing costs more than the MTBF.
+  EXPECT_EQ(daly_interval(sim::from_seconds(100.0), sim::from_seconds(40.0)),
+            sim::from_seconds(40.0));
+}
+
+TEST(IntervalTest, ExpectedRuntimeIsConvexInInterval) {
+  // U-shape: too-frequent and too-rare checkpointing both cost more than
+  // the optimum region.
+  const double work = 2000.0, c = 8.0, r = 10.0, mtbf = 750.0;
+  const double at_opt = expected_runtime_s(work, c, r, mtbf, 110.0);
+  EXPECT_LT(at_opt, expected_runtime_s(work, c, r, mtbf, 10.0));
+  EXPECT_LT(at_opt, expected_runtime_s(work, c, r, mtbf, 2000.0));
+  // No failures, no checkpoints: the work is the runtime.
+  EXPECT_DOUBLE_EQ(expected_runtime_s(work, c, r, 0.0, 100.0), work);
+}
+
+// ---------------------------------------------------------------------------
+// Message ledger
+
+TEST(LedgerTest, ConsistentStream) {
+  MessageLedger l;
+  for (int i = 1; i <= 5; ++i) {
+    l.record_send(0, 1, i);
+    l.record_delivery(0, 1, i);
+  }
+  EXPECT_TRUE(l.check().consistent);
+  EXPECT_EQ(l.total_sent(), 5u);
+  EXPECT_EQ(l.total_delivered(), 5u);
+}
+
+TEST(LedgerTest, DetectsLoss) {
+  MessageLedger l;
+  l.record_send(0, 1, 1);
+  l.record_send(0, 1, 2);
+  l.record_delivery(0, 1, 1);
+  EXPECT_FALSE(l.check().consistent);
+  EXPECT_TRUE(l.check(/*allow_in_flight=*/true).consistent);
+}
+
+TEST(LedgerTest, DetectsDuplicateAndReorder) {
+  MessageLedger dup;
+  dup.record_send(0, 1, 1);
+  dup.record_delivery(0, 1, 1);
+  dup.record_delivery(0, 1, 1);
+  EXPECT_FALSE(dup.check(true).consistent);
+
+  MessageLedger ooo;
+  ooo.record_send(2, 3, 1);
+  ooo.record_send(2, 3, 2);
+  ooo.record_delivery(2, 3, 2);
+  ooo.record_delivery(2, 3, 1);
+  EXPECT_FALSE(ooo.check().consistent);
+
+  MessageLedger phantom;
+  phantom.record_delivery(4, 5, 9);
+  EXPECT_FALSE(phantom.check(true).consistent);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinated checkpointing end-to-end
+
+/// A communication-steady PTRANS-like load: ~10 iterations per second so
+/// every rank always has traffic in flight against every peer.
+app::WorkloadSpec steady_ptrans(app::RankId ranks, std::uint32_t iters) {
+  app::WorkloadSpec s;
+  s.name = "steady-ptrans";
+  s.ranks = ranks;
+  s.iterations = iters;
+  s.flops_per_rank_iter = 1e9;  // ~0.1 s of compute per iteration
+  s.pattern = app::Pattern::kAllToAll;
+  s.bytes_per_msg = 4096;
+  s.working_set_bytes_per_rank = 64ull << 20;
+  return s;
+}
+
+struct LscFixture {
+  explicit LscFixture(std::uint32_t nodes, std::uint64_t guest_ram,
+                      net::ReliableConfig transport = {},
+                      std::uint64_t seed = 42, double store_bps = 400e6)
+      : bed(make_options(nodes, seed, store_bps)) {
+    core::VcSpec spec;
+    spec.name = "test-vc";
+    spec.size = nodes;
+    spec.guest.ram_bytes = guest_ram;
+    auto placement = bed.dvc->pick_nodes(nodes);
+    vc = &bed.dvc->create_vc(spec, *placement, {});
+    bed.sim.run_until(20 * sim::kSecond);  // boot completes at 15 s
+    application = std::make_unique<app::ParallelApp>(
+        bed.sim, bed.fabric.network(), vc->contexts(),
+        steady_ptrans(nodes, 3000), transport);
+    bed.dvc->attach_app(*vc, *application);
+    application->start();
+  }
+
+  static TestBed::Options make_options(std::uint32_t nodes,
+                                       std::uint64_t seed,
+                                       double store_bps) {
+    TestBed::Options o;
+    o.nodes_per_cluster = nodes;
+    o.seed = seed;
+    o.store.write_bps = store_bps;
+    o.store.read_bps = 2 * store_bps;
+    return o;
+  }
+
+  TestBed bed;
+  core::VirtualCluster* vc = nullptr;
+  std::unique_ptr<app::ParallelApp> application;
+};
+
+TEST(QuiesceTest, RanksParkAtBoundariesAndResume) {
+  LscFixture f(4, 64ull << 20);
+  bool all_held = false;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    f.application->request_quiesce([&] { all_held = true; });
+  });
+  f.bed.sim.run_until(30 * sim::kSecond);
+  ASSERT_TRUE(all_held);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(f.application->rank(r).held());
+  }
+  // Parked ranks make no progress...
+  const auto iter_held = f.application->rank(0).state().iter;
+  f.bed.sim.run_until(60 * sim::kSecond);
+  EXPECT_EQ(f.application->rank(0).state().iter, iter_held);
+  EXPECT_TRUE(f.application->mesh_drained());
+  // ...until released.
+  f.application->release_quiesce();
+  f.bed.sim.run_until(90 * sim::kSecond);
+  EXPECT_GT(f.application->rank(0).state().iter, iter_held);
+  EXPECT_FALSE(f.application->failed());
+}
+
+TEST(CocheckTest, UserLevelCheckpointWithoutFreezingGuests) {
+  LscFixture f(6, 1ull << 30);  // big guests: the VM path would be slow
+  CocheckCoordinator cocheck(f.bed.sim);
+  std::optional<CocheckCoordinator::Result> result;
+  vm::GuestConfig guest;
+  guest.ram_bytes = 1ull << 30;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    cocheck.checkpoint(*f.application, guest, f.bed.images,
+                       [&](CocheckCoordinator::Result r) { result = r; });
+  });
+  f.bed.sim.run_until(120 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // The quiesce costs about one application iteration (~0.1 s) + drain.
+  EXPECT_LT(result->quiesce_time, 2 * sim::kSecond);
+  // Process images, not guest images: far less than 6 x 1 GiB.
+  EXPECT_LT(result->bytes_written, 6ull << 30);
+  EXPECT_GT(result->bytes_written, 0u);
+  // The guests themselves never froze.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(f.vc->machine(i).pauses(), 0u);
+  }
+  // And the application keeps running afterwards.
+  const auto iter_then = f.application->rank(0).state().iter;
+  f.bed.sim.run_until(180 * sim::kSecond);
+  EXPECT_GT(f.application->rank(0).state().iter, iter_then);
+  EXPECT_FALSE(f.application->failed());
+}
+
+TEST(NtpLscTest, CheckpointIsTransparentToTheApplication) {
+  LscFixture f(8, 512ull << 20);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(7));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    f.bed.dvc->checkpoint_vc(*f.vc, lsc,
+                             [&](LscResult r) { result = std::move(r); });
+  });
+  // 8 x 512 MiB over 400 MB/s shared ~ 10.7 s of frozen time.
+  f.bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  // Skew bounded by clock error + timer jitter + local `xm save` latency:
+  // tens of milliseconds, versus a >12 s transport retry budget.
+  EXPECT_LT(result->pause_skew, 50 * sim::kMillisecond);
+  EXPECT_GT(result->total_time, 5 * sim::kSecond);
+  EXPECT_FALSE(f.application->failed());
+  EXPECT_TRUE(f.vc->has_checkpoint());
+  EXPECT_EQ(f.vc->last_checkpoint().app_snapshots.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(f.vc->machine(i).running());
+    // The >10 s freeze trips each guest's software watchdog (§3.2).
+    EXPECT_GE(f.vc->machine(i).watchdog_timeouts(), 1u);
+  }
+  // The application keeps making progress afterwards.
+  const auto iter_then = f.application->rank(0).state().iter;
+  f.bed.sim.run_until(90 * sim::kSecond);
+  EXPECT_GT(f.application->rank(0).state().iter, iter_then);
+  EXPECT_FALSE(f.application->failed());
+}
+
+TEST(NtpLscTest, RepeatedRoundsAllSucceed) {
+  LscFixture f(6, 64ull << 20);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(11));
+  int ok_rounds = 0;
+  // Five back-to-back checkpoint rounds, 20 s apart.
+  for (int round = 0; round < 5; ++round) {
+    f.bed.sim.schedule_after((5 + 20 * round) * sim::kSecond, [&] {
+      f.bed.dvc->checkpoint_vc(*f.vc, lsc, [&](LscResult r) {
+        if (r.ok) ++ok_rounds;
+      });
+    });
+  }
+  f.bed.sim.run_until(150 * sim::kSecond);
+  EXPECT_EQ(ok_rounds, 5);
+  EXPECT_FALSE(f.application->failed());
+  EXPECT_EQ(f.bed.dvc->checkpoints_taken(), 5u);
+}
+
+TEST(NtpLscTest, SaveAndHoldLeavesDomainsFrozen) {
+  LscFixture f(4, 64ull << 20);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(13));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    lsc.checkpoint("hold", f.bed.dvc->save_targets(*f.vc),
+                   f.bed.images, [&](LscResult r) { result = std::move(r); },
+                   /*resume_after_save=*/false);
+  });
+  f.bed.sim.run_until(40 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.vc->machine(i).state(), vm::DomainState::kSaved);
+  }
+}
+
+TEST(LscValidationTest, EmptyTargetListsAreRejected) {
+  LscFixture f(2, 64ull << 20);
+  NaiveLscCoordinator naive(f.bed.sim, {}, sim::Rng(1));
+  NtpLscCoordinator ntp(f.bed.sim, {}, sim::Rng(1));
+  EXPECT_THROW(naive.checkpoint("x", {}, f.bed.images, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ntp.checkpoint("x", {}, f.bed.images, {}),
+               std::invalid_argument);
+  // The NTP coordinator also insists on a clock per target.
+  std::vector<SaveTarget> no_clock = f.bed.dvc->save_targets(*f.vc);
+  no_clock[0].clock = nullptr;
+  EXPECT_THROW(ntp.checkpoint("x", std::move(no_clock), f.bed.images, {}),
+               std::invalid_argument);
+}
+
+TEST(NaiveLscTest, SaveAndHoldAlsoWorksNaively) {
+  LscFixture f(3, 64ull << 20);
+  NaiveLscCoordinator lsc(f.bed.sim, {}, sim::Rng(9));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(2 * sim::kSecond, [&] {
+    lsc.checkpoint("hold", f.bed.dvc->save_targets(*f.vc), f.bed.images,
+                   [&](LscResult r) { result = std::move(r); },
+                   /*resume_after_save=*/false);
+  });
+  f.bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.vc->machine(i).state(), vm::DomainState::kSaved);
+  }
+}
+
+TEST(NaiveLscTest, SkewGrowsLinearlyWithNodeCount) {
+  // The naive skew is a sum of per-terminal dispatch gaps, so its *mean*
+  // grows linearly in the node count; average over seeds to see it.
+  const auto mean_skew = [](std::uint32_t nodes) {
+    double total = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      LscFixture f(nodes, 64ull << 20, {}, seed);
+      NaiveLscCoordinator lsc(f.bed.sim, {}, sim::Rng(seed));
+      sim::Duration skew = 0;
+      f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+        f.bed.dvc->checkpoint_vc(
+            *f.vc, lsc, [&](LscResult r) { skew = r.pause_skew; });
+      });
+      f.bed.sim.run_until(90 * sim::kSecond);
+      EXPECT_GT(skew, 0);
+      total += sim::to_seconds(skew);
+    }
+    return total / 5.0;
+  };
+  const double small = mean_skew(2);
+  const double large = mean_skew(8);
+  EXPECT_GT(large, 3.0 * small);
+  // 7 inter-dispatch gaps of >= 0.175 s each.
+  EXPECT_GT(large, 1.2);
+}
+
+TEST(NaiveLscTest, SkewedSavesKillTheApplicationAtScale) {
+  // Tight transport: retry budget = 0.2+0.4+0.8+1.6+3.2 (+6.4 final wait)
+  // = 12.6 s. Twelve serial dispatches at ~1.4 s each push the skew well
+  // past it: the still-running guests abort their connections to the
+  // frozen ones — the paper's "12 nodes failing 90% of the time".
+  // Paper-era substrate: 1 GiB guests against a ~100 MB/s NFS store, so
+  // a save freezes its guest for minutes — far longer than the dispatch
+  // skew — and the staggered saves also *finish* staggered, so resumed
+  // guests exhaust their retry budget against still-frozen peers.
+  net::ReliableConfig tight;
+  tight.max_retries = 5;
+  LscFixture f(12, 1ull << 30, tight, /*seed=*/1, /*store_bps=*/100e6);
+  NaiveLscCoordinator lsc(f.bed.sim, {}, sim::Rng(1));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    f.bed.dvc->checkpoint_vc(*f.vc, lsc,
+                             [&](LscResult r) { result = std::move(r); });
+  });
+  f.bed.sim.run_until(400 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  // Eleven serial dispatch gaps of ~0.35 s each: seconds of pause skew,
+  // amplified further on the staggered resumes.
+  EXPECT_GT(result->pause_skew, sim::from_seconds(2.0));
+  EXPECT_TRUE(f.application->failed());
+}
+
+TEST(NtpLscTest, LoadedHostsWithoutHealthCheckKillTheApplication) {
+  net::ReliableConfig tight;
+  tight.max_retries = 5;
+  LscFixture f(8, 1ull << 30, tight, /*seed=*/5, /*store_bps=*/100e6);
+  NtpLscCoordinator::Config cfg;
+  cfg.stall_prob = 1.0;  // every agent starved (worst-case loaded hosts)
+  cfg.stall_mean = 30 * sim::kSecond;
+  NtpLscCoordinator lsc(f.bed.sim, cfg, sim::Rng(5));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    f.bed.dvc->checkpoint_vc(*f.vc, lsc,
+                             [&](LscResult r) { result = std::move(r); });
+  });
+  f.bed.sim.run_until(600 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(f.application->failed());
+}
+
+TEST(NtpLscTest, HealthCheckAbortsCleanlyInsteadOfCrashing) {
+  LscFixture f(8, 64ull << 20, {}, /*seed=*/5);
+  NtpLscCoordinator::Config cfg;
+  cfg.stall_prob = 1.0;
+  cfg.stall_mean = 30 * sim::kSecond;
+  cfg.health_check = true;
+  cfg.max_attempts = 3;
+  NtpLscCoordinator lsc(f.bed.sim, cfg, sim::Rng(5));
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    f.bed.dvc->checkpoint_vc(*f.vc, lsc,
+                             [&](LscResult r) { result = std::move(r); });
+  });
+  f.bed.sim.run_until(300 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_TRUE(result->aborted_cleanly);
+  EXPECT_EQ(result->attempts, 3);
+  // No guest ever froze: the application never noticed anything.
+  EXPECT_FALSE(f.application->failed());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(f.vc->machine(i).running());
+  }
+}
+
+}  // namespace
+}  // namespace dvc::ckpt

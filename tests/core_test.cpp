@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "core/dvc_manager.hpp"
+#include "testbed.hpp"
+
+namespace dvc::core {
+namespace {
+
+using test::TestBed;
+
+app::WorkloadSpec steady_job(app::RankId ranks, std::uint32_t iters) {
+  app::WorkloadSpec s;
+  s.name = "steady";
+  s.ranks = ranks;
+  s.iterations = iters;
+  s.flops_per_rank_iter = 1e9;  // ~0.1 s per iteration
+  s.pattern = app::Pattern::kAllToAll;
+  s.bytes_per_msg = 2048;
+  return s;
+}
+
+TestBed::Options two_cluster_opts(std::uint32_t nodes_per = 4) {
+  TestBed::Options o;
+  o.clusters = 2;
+  o.nodes_per_cluster = nodes_per;
+  o.store.write_bps = 400e6;
+  o.store.read_bps = 800e6;
+  return o;
+}
+
+VcSpec small_vc(std::uint32_t size, std::uint64_t ram = 64ull << 20) {
+  VcSpec spec;
+  spec.name = "vc";
+  spec.size = size;
+  spec.guest.ram_bytes = ram;
+  return spec;
+}
+
+TEST(DvcManagerTest, PickNodesPacksSingleClusterThenSpans) {
+  TestBed bed(two_cluster_opts());
+  const auto packed = bed.dvc->pick_nodes(4);
+  ASSERT_TRUE(packed.has_value());
+  std::set<hw::ClusterId> clusters;
+  for (const auto n : *packed) clusters.insert(bed.fabric.node(n).cluster());
+  EXPECT_EQ(clusters.size(), 1u);
+
+  const auto spanned = bed.dvc->pick_nodes(6);
+  ASSERT_TRUE(spanned.has_value());
+  clusters.clear();
+  for (const auto n : *spanned) clusters.insert(bed.fabric.node(n).cluster());
+  EXPECT_EQ(clusters.size(), 2u);
+
+  EXPECT_FALSE(bed.dvc->pick_nodes(9).has_value());
+}
+
+TEST(DvcManagerTest, PickNodesSkipsClaimedAndFailed) {
+  TestBed bed(two_cluster_opts());
+  bed.fabric.fail_node(0);
+  auto placement = bed.dvc->pick_nodes(3);
+  ASSERT_TRUE(placement.has_value());
+  bed.dvc->create_vc(small_vc(3), *placement, {});
+  const auto rest = bed.dvc->pick_nodes(4);
+  ASSERT_TRUE(rest.has_value());
+  for (const auto n : *rest) {
+    EXPECT_NE(n, 0u);
+    EXPECT_FALSE(std::count(placement->begin(), placement->end(), n));
+  }
+  EXPECT_FALSE(bed.dvc->pick_nodes(5).has_value());
+}
+
+TEST(DvcManagerTest, PickNodesAvoidsCondemnedNodes) {
+  TestBed bed(two_cluster_opts());
+  bed.fabric.predict_failure(1, 10 * sim::kMinute);
+  const auto placement = bed.dvc->pick_nodes(4);
+  ASSERT_TRUE(placement.has_value());
+  for (const hw::NodeId n : *placement) EXPECT_NE(n, 1u);
+  // After the sentence is carried out and the node repaired, it is
+  // allocatable again.
+  bed.sim.run_until(11 * sim::kMinute);
+  EXPECT_TRUE(bed.fabric.node(1).failed());
+  bed.fabric.repair_node(1);
+  EXPECT_FALSE(bed.fabric.condemned(1));
+  EXPECT_TRUE(bed.dvc->pick_nodes(8).has_value());
+}
+
+TEST(DvcManagerTest, CreateVcBootsEveryMachine) {
+  TestBed bed(two_cluster_opts());
+  bool ready = false;
+  VirtualCluster& vc =
+      bed.dvc->create_vc(small_vc(3), {0, 1, 2}, [&] { ready = true; });
+  EXPECT_EQ(vc.state(), VcState::kProvisioning);
+  bed.sim.run_until(20 * sim::kSecond);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(vc.state(), VcState::kRunning);
+  EXPECT_EQ(vc.contexts().size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(vc.machine(i).running());
+    EXPECT_EQ(vc.machine(i).placed_on(), i);
+  }
+  EXPECT_EQ(bed.dvc->claims().size(), 3u);
+  EXPECT_FALSE(vc.spans_clusters(bed.fabric));
+  EXPECT_EQ(vc.instantiations(), 1u);
+}
+
+TEST(DvcManagerTest, SpanningVcIsDetected) {
+  TestBed bed(two_cluster_opts());
+  VirtualCluster& vc = bed.dvc->create_vc(small_vc(6), {0, 1, 2, 3, 4, 5}, {});
+  EXPECT_TRUE(vc.spans_clusters(bed.fabric));
+}
+
+TEST(DvcManagerTest, DestroyReleasesClaims) {
+  TestBed bed(two_cluster_opts());
+  VirtualCluster& vc = bed.dvc->create_vc(small_vc(3), {0, 1, 2}, {});
+  bed.sim.run_until(20 * sim::kSecond);
+  bed.dvc->destroy_vc(vc);  // invalidates vc
+  EXPECT_TRUE(bed.dvc->claims().empty());
+  EXPECT_TRUE(bed.dvc->pick_nodes(8).has_value());
+}
+
+TEST(DvcManagerTest, AttachAppSizeMismatchThrows) {
+  TestBed bed(two_cluster_opts());
+  VirtualCluster& vc = bed.dvc->create_vc(small_vc(3), {0, 1, 2}, {});
+  bed.sim.run_until(20 * sim::kSecond);
+  auto contexts = vc.contexts();
+  contexts.pop_back();
+  app::ParallelApp two(bed.sim, bed.fabric.network(), contexts,
+                       steady_job(2, 10));
+  EXPECT_THROW(bed.dvc->attach_app(vc, two), std::invalid_argument);
+}
+
+struct RunningVc {
+  RunningVc(TestBed& bed, std::uint32_t size, std::uint32_t iters,
+            std::vector<hw::NodeId> placement)
+      : vc(&bed.dvc->create_vc(small_vc(size), std::move(placement), {})) {
+    bed.sim.run_until(20 * sim::kSecond);
+    application = std::make_unique<app::ParallelApp>(
+        bed.sim, bed.fabric.network(), vc->contexts(),
+        steady_job(size, iters));
+    bed.dvc->attach_app(*vc, *application);
+    application->start();
+  }
+
+  VirtualCluster* vc;
+  std::unique_ptr<app::ParallelApp> application;
+};
+
+TEST(DvcManagerTest, CheckpointRecordsRecoveryPoint) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(3));
+  std::optional<ckpt::LscResult> result;
+  bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    bed.dvc->checkpoint_vc(*r.vc, lsc,
+                           [&](ckpt::LscResult res) { result = res; });
+  });
+  bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok);
+  EXPECT_TRUE(r.vc->has_checkpoint());
+  EXPECT_EQ(r.vc->last_checkpoint().set, result->set);
+  EXPECT_EQ(bed.dvc->checkpoints_taken(), 1u);
+  EXPECT_FALSE(r.application->failed());
+}
+
+TEST(DvcManagerTest, RestoreOntoDisjointNodesResumesFromCheckpoint) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 400, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(5));
+  bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    bed.dvc->checkpoint_vc(*r.vc, lsc, {});
+  });
+  // Node 1 dies mid-run; with no auto policy, we drive recovery by hand
+  // onto a completely different node set (the paper's headline ability).
+  bed.sim.schedule_after(40 * sim::kSecond,
+                         [&] { bed.fabric.fail_node(1); });
+  bool restored = false;
+  bed.sim.schedule_after(45 * sim::kSecond, [&] {
+    bed.dvc->restore_vc(*r.vc, {4, 5, 6}, [&](bool ok) { restored = ok; });
+  });
+  bed.sim.run_until(300 * sim::kSecond);
+  EXPECT_TRUE(restored);
+  EXPECT_EQ(r.vc->placements(), (std::vector<hw::NodeId>{4, 5, 6}));
+  EXPECT_EQ(r.vc->instantiations(), 2u);
+  bed.sim.run_until(600 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+  // Every rank ran exactly its configured number of iterations.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.application->rank(i).state().iter, 400u);
+  }
+}
+
+TEST(DvcManagerTest, MigrationMovesVcWithoutLosingWork) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 400, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(7));
+  bool migrated = false;
+  bed.sim.schedule_after(10 * sim::kSecond, [&] {
+    bed.dvc->migrate_vc(*r.vc, lsc, {5, 6, 7},
+                        [&](bool ok) { migrated = ok; });
+  });
+  bed.sim.run_until(120 * sim::kSecond);
+  EXPECT_TRUE(migrated);
+  EXPECT_EQ(bed.dvc->migrations_performed(), 1u);
+  EXPECT_EQ(r.vc->placements(), (std::vector<hw::NodeId>{5, 6, 7}));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.vc->machine(i).placed_on(), 5 + i);
+  }
+  bed.sim.run_until(600 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+}
+
+TEST(DvcManagerTest, AutoRecoverySurvivesNodeFailure) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(9));
+  DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval = 20 * sim::kSecond;
+  bed.dvc->enable_auto_recovery(*r.vc, policy);
+  bed.sim.schedule_after(50 * sim::kSecond, [&] { bed.fabric.fail_node(2); });
+  bed.sim.run_until(900 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+  EXPECT_GE(bed.dvc->recoveries_performed(), 1u);
+  EXPECT_GE(r.vc->recoveries(), 1u);
+  // The dead node is not in the final mapping.
+  for (const hw::NodeId n : r.vc->placements()) EXPECT_NE(n, 2u);
+  // Redone work: total compute exceeds the useful 0.1 s x 600 iterations.
+  EXPECT_GT(r.application->stats().compute_done_s, 60.0);
+}
+
+TEST(DvcManagerTest, AutoRecoveryRelocatesAllWhenAsked) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(11));
+  DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval = 20 * sim::kSecond;
+  policy.relocate_all = true;
+  bed.dvc->enable_auto_recovery(*r.vc, policy);
+  bed.sim.schedule_after(50 * sim::kSecond, [&] { bed.fabric.fail_node(0); });
+  bed.sim.run_until(900 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  // All three members moved off the original mapping.
+  for (const hw::NodeId n : r.vc->placements()) {
+    EXPECT_GT(n, 2u);
+  }
+}
+
+TEST(DvcManagerTest, RecoveryWaitsForSparesWhenNoneFree) {
+  TestBed::Options opts = two_cluster_opts(2);  // only 4 nodes total
+  TestBed bed(opts);
+  RunningVc r(bed, 4, 600, {0, 1, 2, 3});  // VC owns every node
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(13));
+  DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval = 20 * sim::kSecond;
+  bed.dvc->enable_auto_recovery(*r.vc, policy);
+  bed.sim.schedule_after(50 * sim::kSecond, [&] { bed.fabric.fail_node(3); });
+  // No spare exists; recovery must hold until the node is repaired.
+  bed.sim.schedule_after(200 * sim::kSecond,
+                         [&] { bed.fabric.repair_node(3); });
+  bed.sim.run_until(1200 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_GE(bed.dvc->recoveries_performed(), 1u);
+}
+
+TEST(DvcManagerTest, IncrementalCheckpointsAreSmallAndRestorable) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 900, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(23));
+
+  // Full image first, then two incrementals 2 s apart (the guests dirty
+  // 10 MB/s, so each incremental holds ~20 MiB + dirty-map overhead).
+  std::vector<std::uint64_t> set_bytes;
+  auto take = [&](bool incremental) {
+    std::optional<ckpt::LscResult> res;
+    bed.dvc->checkpoint_vc(*r.vc, lsc,
+                           [&](ckpt::LscResult out) { res = out; },
+                           incremental);
+    while (!res.has_value()) {
+      bed.sim.run_until(bed.sim.now() + sim::kSecond);
+    }
+    ASSERT_TRUE(res->ok);
+    set_bytes.push_back(bed.images.find_set(res->set)->total_bytes());
+    bed.sim.run_until(bed.sim.now() + 2 * sim::kSecond);
+  };
+  take(false);
+  take(true);
+  take(true);
+  ASSERT_EQ(set_bytes.size(), 3u);
+  // Fulls write 3 x 64 MiB; an incremental writes only the ~4-5 s of
+  // dirtying between images (wait + LSC lead time) plus the dirty-map
+  // overhead per guest.
+  EXPECT_EQ(set_bytes[0], 3ull * (64ull << 20));
+  EXPECT_LT(set_bytes[1], set_bytes[0] * 3 / 4);
+  EXPECT_LT(set_bytes[2], set_bytes[0] * 3 / 4);
+  EXPECT_GT(set_bytes[1], 3ull * (4ull << 20));  // at least the dirty maps
+  EXPECT_EQ(r.vc->checkpoint_chain().size(), 3u);
+
+  // Restoring from the newest incremental stages the whole chain and the
+  // application resumes correctly.
+  bool restored = false;
+  bed.dvc->restore_vc(*r.vc, {4, 5, 6}, [&](bool ok) { restored = ok; });
+  bed.sim.run_until(bed.sim.now() + 60 * sim::kSecond);
+  EXPECT_TRUE(restored);
+  bed.sim.run_until(bed.sim.now() + 900 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+}
+
+TEST(DvcManagerTest, IncrementalWithoutBaselineFallsBackToFull) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 400, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(29));
+  std::optional<ckpt::LscResult> res;
+  bed.dvc->checkpoint_vc(*r.vc, lsc,
+                         [&](ckpt::LscResult out) { res = out; },
+                         /*incremental=*/true);
+  bed.sim.run_until(bed.sim.now() + 60 * sim::kSecond);
+  ASSERT_TRUE(res.has_value() && res->ok);
+  // No prior image existed, so the "incremental" round wrote full images.
+  EXPECT_EQ(bed.images.find_set(res->set)->total_bytes(),
+            3ull * (64ull << 20));
+  EXPECT_EQ(r.vc->checkpoint_chain().size(), 1u);
+}
+
+TEST(DvcManagerTest, LiveMigrationMovesRunningVcWithTinyDowntime) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  DvcManager::LiveMigrationConfig cfg;
+  cfg.bandwidth_bps = 300e6;
+  std::optional<DvcManager::LiveMigrationStats> stats;
+  bed.sim.schedule_after(10 * sim::kSecond, [&] {
+    bed.dvc->live_migrate_vc(*r.vc, {5, 6, 7}, cfg,
+                             [&](DvcManager::LiveMigrationStats s) {
+                               stats = s;
+                             });
+  });
+  bed.sim.run_until(120 * sim::kSecond);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->ok);
+  EXPECT_EQ(r.vc->placements(), (std::vector<hw::NodeId>{5, 6, 7}));
+  EXPECT_EQ(bed.dvc->live_migrations_performed(), 1u);
+  // Pre-copy downtime is a fraction of a second; the checkpoint path
+  // would have frozen the guests for the whole save+stage+restore.
+  EXPECT_LT(stats->max_downtime, sim::kSecond);
+  // Dirtied memory was re-sent: more bytes moved than guest RAM.
+  EXPECT_GT(stats->bytes_moved, 3.0 * (64 << 20));
+  // The old nodes are free again; the new ones are claimed.
+  EXPECT_FALSE(bed.dvc->claims().contains(0));
+  EXPECT_TRUE(bed.dvc->claims().contains(5));
+  bed.sim.run_until(600 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+}
+
+TEST(DvcManagerTest, LiveMigrationFailsCleanlyIfTargetDies) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  bed.fabric.fail_node(5);
+  DvcManager::LiveMigrationConfig cfg;
+  std::optional<DvcManager::LiveMigrationStats> stats;
+  bed.dvc->live_migrate_vc(*r.vc, {5, 6, 7}, cfg,
+                           [&](DvcManager::LiveMigrationStats s) {
+                             stats = s;
+                           });
+  bed.sim.run_until(120 * sim::kSecond);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_FALSE(stats->ok);
+}
+
+TEST(DvcManagerTest, ProactiveMigrationEvacuatesBeforeTheFault) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 600, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(17));
+  DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval = 60 * sim::kSecond;
+  policy.proactive_migration = true;
+  bed.dvc->enable_auto_recovery(*r.vc, policy);
+
+  // Health monitoring announces node 1's death 60 s ahead.
+  bed.sim.schedule_after(30 * sim::kSecond, [&] {
+    bed.fabric.predict_failure(1, 60 * sim::kSecond);
+  });
+  bed.sim.run_until(600 * sim::kSecond);
+  EXPECT_GE(bed.dvc->evacuations_performed(), 1u);
+  // The VC left the suspect node before it died: no rollback needed.
+  EXPECT_EQ(bed.dvc->recoveries_performed(), 0u);
+  for (const hw::NodeId n : r.vc->placements()) EXPECT_NE(n, 1u);
+  bed.sim.run_until(900 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+}
+
+TEST(DvcManagerTest, RecoverNowHandlesSoftwareFailure) {
+  TestBed bed(two_cluster_opts());
+  RunningVc r(bed, 3, 400, {0, 1, 2});
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(15));
+  bed.sim.schedule_after(5 * sim::kSecond,
+                         [&] { bed.dvc->checkpoint_vc(*r.vc, lsc, {}); });
+  // Simulate an application/software wedge at t=40 s: the operator (or a
+  // monitor) rolls the whole VC back to the checkpoint.
+  bed.sim.schedule_after(40 * sim::kSecond,
+                         [&] { bed.dvc->recover_now(*r.vc); });
+  bed.sim.run_until(600 * sim::kSecond);
+  EXPECT_TRUE(r.application->completed());
+  EXPECT_FALSE(r.application->failed());
+}
+
+}  // namespace
+}  // namespace dvc::core

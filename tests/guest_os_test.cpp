@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "app/workload.hpp"
+#include "ckpt/methods.hpp"
+#include "hw/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "vm/guest_os.hpp"
+#include "vm/virtual_machine.hpp"
+
+namespace dvc::vm {
+namespace {
+
+TEST(GuestOsTest, ProcessLifecycle) {
+  GuestOs os;
+  const Pid a = os.spawn("hpl");
+  const Pid b = os.spawn("daemon");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(os.process_count(), 2u);
+  ASSERT_NE(os.find(a), nullptr);
+  EXPECT_EQ(os.find(a)->name, "hpl");
+  EXPECT_TRUE(os.exit_process(b));
+  EXPECT_FALSE(os.exit_process(b));
+  EXPECT_EQ(os.find(b), nullptr);
+  EXPECT_EQ(os.process_count(), 1u);
+}
+
+TEST(GuestOsTest, AccountingFollowsTheSection2Ordering) {
+  GuestOs os;
+  const Pid p = os.spawn("app");
+  os.set_heap(p, 300ull << 20);
+  os.open_file(p, "/data/in", 16ull << 20);
+  os.open_socket(p, 1, 256 << 10, 256 << 10);
+  os.open_socket(p, 2, 256 << 10, 256 << 10);
+
+  const auto app = os.app_level_bytes(p);
+  const auto user = os.user_level_bytes(p);
+  const auto kern = os.kernel_level_bytes(p);
+  // app < user < kernel: each layer is forced to save more (§2).
+  EXPECT_EQ(app, 300ull << 20);  // only the working set
+  EXPECT_GT(user, app);          // + code, stack, buffered files
+  EXPECT_GT(kern, user);         // + socket buffers, kernel bookkeeping
+  // Whole-guest resident set covers the kernel itself too.
+  EXPECT_GT(os.resident_bytes(), kern);
+}
+
+TEST(GuestOsTest, SetHeapReplacesNotAccumulates) {
+  GuestOs os;
+  const Pid p = os.spawn("app");
+  os.set_heap(p, 100);
+  os.set_heap(p, 50);
+  EXPECT_EQ(os.app_level_bytes(p), 50u);
+}
+
+TEST(GuestOsTest, ResidentGrowsWithProcesses) {
+  GuestOs os;
+  const auto empty = os.resident_bytes();
+  const Pid p = os.spawn("one");
+  os.set_heap(p, 64ull << 20);
+  const auto one = os.resident_bytes();
+  const Pid q = os.spawn("two");
+  os.set_heap(q, 64ull << 20);
+  const auto two = os.resident_bytes();
+  EXPECT_GT(one, empty);
+  EXPECT_GT(two, one);
+  EXPECT_NEAR(static_cast<double>(two - one),
+              static_cast<double>(one - empty), 1.0);
+}
+
+TEST(GuestOsTest, RankRegistersItselfInTheGuestProcessTable) {
+  sim::Simulation sim;
+  hw::Fabric fabric(sim, {});
+  fabric.add_cluster("a", 3);
+  std::vector<std::unique_ptr<VirtualMachine>> vms;
+  std::vector<ExecutionContext*> contexts;
+  GuestConfig cfg;
+  cfg.ram_bytes = 1ull << 30;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    vms.push_back(std::make_unique<VirtualMachine>(sim, fabric.network(),
+                                                   i + 1, cfg));
+    vms.back()->place_on(fabric.node(i));
+    vms.back()->resume();
+    contexts.push_back(vms.back().get());
+  }
+  app::WorkloadSpec spec = app::make_hpl(8192, 3);
+  app::ParallelApp application(sim, fabric.network(), contexts, spec);
+  application.start();
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const Pid pid = application.rank(i).guest_pid();
+    ASSERT_NE(pid, kInvalidPid);
+    const GuestOs::Process* proc = vms[i]->os().find(pid);
+    ASSERT_NE(proc, nullptr);
+    EXPECT_EQ(proc->sockets.size(), 2u);  // one per peer
+    EXPECT_EQ(vms[i]->os().app_level_bytes(pid),
+              spec.working_set_bytes_per_rank);
+  }
+
+  // Measured footprints from the live table keep the §2 ordering and the
+  // model's applicability rules.
+  const GuestOs& os = vms[0]->os();
+  const Pid pid = application.rank(0).guest_pid();
+  const auto app_fp =
+      ckpt::measured_footprint(ckpt::MethodKind::kApplication, spec, cfg,
+                               os, pid);
+  const auto usr_fp = ckpt::measured_footprint(ckpt::MethodKind::kUserLevel,
+                                               spec, cfg, os, pid);
+  const auto krn_fp = ckpt::measured_footprint(
+      ckpt::MethodKind::kKernelLevel, spec, cfg, os, pid);
+  const auto vm_fp = ckpt::measured_footprint(ckpt::MethodKind::kVmLevel,
+                                              spec, cfg, os, pid);
+  EXPECT_LT(app_fp.bytes, usr_fp.bytes);
+  EXPECT_LT(usr_fp.bytes, krn_fp.bytes);
+  EXPECT_LT(krn_fp.bytes, vm_fp.bytes);
+  EXPECT_TRUE(app_fp.applicable);   // HPL ships checkpoint code
+  EXPECT_FALSE(usr_fp.applicable);  // parallel job, no interception
+  EXPECT_TRUE(vm_fp.applicable);
+  sim.run();
+}
+
+}  // namespace
+}  // namespace dvc::vm

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace dvc::net {
+namespace {
+
+/// Test link with per-direction loss overrides and zero jitter, so
+/// individual packets can be targeted deterministically.
+class ScriptedLink final : public LinkModel {
+ public:
+  sim::Duration base_latency = 100 * sim::kMicrosecond;
+  double bandwidth = 1e9;
+  std::map<std::pair<HostId, HostId>, double> loss;
+
+  sim::Duration latency(HostId, HostId, sim::Rng&) override {
+    return base_latency;
+  }
+  double loss_probability(HostId s, HostId d) override {
+    const auto it = loss.find({s, d});
+    return it == loss.end() ? 0.0 : it->second;
+  }
+  double bandwidth_bps(HostId, HostId) override { return bandwidth; }
+};
+
+class Collector final : public PacketSink {
+ public:
+  std::vector<Packet> packets;
+  void on_packet(const Packet& p) override { packets.push_back(p); }
+};
+
+struct NetFixture {
+  sim::Simulation sim;
+  std::shared_ptr<ScriptedLink> link = std::make_shared<ScriptedLink>();
+  Network net{sim, link, sim::Rng(1)};
+  HostId a = net.new_host();
+  HostId b = net.new_host();
+};
+
+TEST(NetworkTest, DeliversDatagramToAttachedSink) {
+  NetFixture f;
+  Collector sink;
+  f.net.attach({f.b, 7}, &sink);
+  Packet p;
+  p.src = {f.a, 1};
+  p.dst = {f.b, 7};
+  p.size_bytes = 100;
+  EXPECT_TRUE(f.net.send(p));
+  f.sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sink.packets[0].size_bytes, 100u);
+  EXPECT_EQ(f.net.packets_delivered(), 1u);
+}
+
+TEST(NetworkTest, DeliveryDelayIsLatencyPlusSerialisation) {
+  NetFixture f;
+  f.link->base_latency = 1 * sim::kMillisecond;
+  f.link->bandwidth = 1e6;  // bytes/s
+  Collector sink;
+  f.net.attach({f.b, 0}, &sink);
+  Packet p;
+  p.src = {f.a, 0};
+  p.dst = {f.b, 0};
+  p.size_bytes = 5000;  // 5 ms of serialisation at 1 MB/s
+  f.net.send(p);
+  f.sim.run();
+  EXPECT_EQ(f.sim.now(), 6 * sim::kMillisecond);
+}
+
+TEST(NetworkTest, DownSourceCannotSend) {
+  NetFixture f;
+  Collector sink;
+  f.net.attach({f.b, 0}, &sink);
+  f.net.set_host_up(f.a, false);
+  Packet p;
+  p.src = {f.a, 0};
+  p.dst = {f.b, 0};
+  EXPECT_FALSE(f.net.send(p));
+  f.sim.run();
+  EXPECT_TRUE(sink.packets.empty());
+}
+
+TEST(NetworkTest, PacketToDownHostIsDropped) {
+  NetFixture f;
+  Collector sink;
+  f.net.attach({f.b, 0}, &sink);
+  Packet p;
+  p.src = {f.a, 0};
+  p.dst = {f.b, 0};
+  f.net.send(p);
+  f.net.set_host_up(f.b, false);  // goes down while the packet flies
+  f.sim.run();
+  EXPECT_TRUE(sink.packets.empty());
+  EXPECT_EQ(f.net.packets_dropped(), 1u);
+}
+
+TEST(NetworkTest, InFlightPacketFromNowDownSourceStillArrives) {
+  // Once on the wire, a packet does not care what happens to its sender.
+  NetFixture f;
+  Collector sink;
+  f.net.attach({f.b, 0}, &sink);
+  Packet p;
+  p.src = {f.a, 0};
+  p.dst = {f.b, 0};
+  f.net.send(p);
+  f.net.set_host_up(f.a, false);
+  f.sim.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(NetworkTest, LossDropsFraction) {
+  NetFixture f;
+  f.link->loss[{f.a, f.b}] = 0.5;
+  Collector sink;
+  f.net.attach({f.b, 0}, &sink);
+  for (int i = 0; i < 2000; ++i) {
+    Packet p;
+    p.src = {f.a, 0};
+    p.dst = {f.b, 0};
+    f.net.send(p);
+  }
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(sink.packets.size()), 1000.0, 80.0);
+}
+
+TEST(NetworkTest, HostStateObserversFireOnTransitionOnly) {
+  NetFixture f;
+  std::vector<bool> seen;
+  f.net.subscribe_host_state(f.a, [&](bool up) { seen.push_back(up); });
+  f.net.set_host_up(f.a, true);  // already up: no event
+  EXPECT_TRUE(seen.empty());
+  f.net.set_host_up(f.a, false);
+  f.net.set_host_up(f.a, false);  // no transition
+  f.net.set_host_up(f.a, true);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_FALSE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+}
+
+TEST(NetworkTest, UnsubscribeStopsNotifications) {
+  NetFixture f;
+  int events = 0;
+  const auto token =
+      f.net.subscribe_host_state(f.a, [&](bool) { ++events; });
+  f.net.set_host_up(f.a, false);
+  f.net.unsubscribe_host_state(f.a, token);
+  f.net.set_host_up(f.a, true);
+  EXPECT_EQ(events, 1);
+}
+
+TEST(NetworkTest, UnknownHostThrows) {
+  NetFixture f;
+  EXPECT_THROW(f.net.set_host_up(999, false), std::out_of_range);
+  Collector sink;
+  EXPECT_THROW(f.net.attach({999, 0}, &sink), std::out_of_range);
+  EXPECT_THROW(f.net.attach({f.a, 0}, nullptr), std::invalid_argument);
+}
+
+TEST(ClusterLinkModelTest, IntraVsInterClusterTiers) {
+  ClusterLinkModel::Config cfg;
+  cfg.intra = {10 * sim::kMicrosecond, 0, 0.0, 1e9};
+  cfg.inter = {2 * sim::kMillisecond, 0, 0.01, 1e7};
+  ClusterLinkModel m(cfg);
+  m.set_cluster(0, 0);
+  m.set_cluster(1, 0);
+  m.set_cluster(2, 1);
+  sim::Rng rng(1);
+  EXPECT_EQ(m.latency(0, 1, rng), 10 * sim::kMicrosecond);
+  EXPECT_EQ(m.latency(0, 2, rng), 2 * sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(m.loss_probability(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.loss_probability(1, 2), 0.01);
+  EXPECT_DOUBLE_EQ(m.bandwidth_bps(0, 2), 1e7);
+  // Unmapped hosts default to cluster 0.
+  EXPECT_EQ(m.latency(0, 99, rng), 10 * sim::kMicrosecond);
+}
+
+}  // namespace
+}  // namespace dvc::net

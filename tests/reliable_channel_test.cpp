@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/reliable_channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace dvc::net {
+namespace {
+
+struct ChannelFixture {
+  explicit ChannelFixture(double loss = 0.0, ReliableConfig cfg = {},
+                          std::uint64_t seed = 1)
+      : link(std::make_shared<FlatLinkModel>(FlatLinkModel::Config{
+            100 * sim::kMicrosecond, 20 * sim::kMicrosecond, loss, 1e9})),
+        net(sim, link, sim::Rng(seed)),
+        a_host(net.new_host()),
+        b_host(net.new_host()),
+        a(sim, net, {a_host, 1}, {b_host, 1}, cfg),
+        b(sim, net, {b_host, 1}, {a_host, 1}, cfg) {}
+
+  sim::Simulation sim;
+  std::shared_ptr<FlatLinkModel> link;
+  Network net;
+  HostId a_host;
+  HostId b_host;
+  ReliableEndpoint a;
+  ReliableEndpoint b;
+};
+
+TEST(ReliableConfigTest, RetryBudgetSumsBackedOffSchedule) {
+  ReliableConfig cfg;
+  cfg.initial_rto = 200 * sim::kMillisecond;
+  cfg.backoff = 2.0;
+  cfg.max_retries = 6;
+  cfg.max_rto = 60 * sim::kSecond;
+  // 0.2 + 0.4 + 0.8 + 1.6 + 3.2 + 6.4 + 12.8 = 25.4 s
+  EXPECT_NEAR(sim::to_seconds(cfg.retry_budget()), 25.4, 1e-6);
+}
+
+TEST(ReliableChannelTest, DeliversInOrderWithIds) {
+  ChannelFixture f;
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_NE(f.a.send(100 + i, /*tag=*/i), 0u);
+  }
+  f.sim.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[i].id, i + 1);
+    EXPECT_EQ(got[i].bytes, 100 + i);
+    EXPECT_EQ(got[i].tag, i);
+  }
+  EXPECT_EQ(f.a.unacked(), 0u);
+  EXPECT_EQ(f.a.retransmissions(), 0u);
+  EXPECT_FALSE(f.a.failed());
+}
+
+TEST(ReliableChannelTest, BidirectionalTrafficIsIndependent) {
+  ChannelFixture f;
+  std::vector<Message> at_a;
+  std::vector<Message> at_b;
+  f.a.set_delivery_handler([&](const Message& m) { at_a.push_back(m); });
+  f.b.set_delivery_handler([&](const Message& m) { at_b.push_back(m); });
+  f.a.send(1);
+  f.b.send(2);
+  f.a.send(3);
+  f.sim.run();
+  EXPECT_EQ(at_b.size(), 2u);
+  EXPECT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0].bytes, 2u);
+}
+
+TEST(ReliableChannelTest, RetransmitsThroughLossExactlyOnce) {
+  ReliableConfig cfg;
+  cfg.max_retries = 12;
+  ChannelFixture f(/*loss=*/0.3, cfg, /*seed=*/7);
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  for (int i = 0; i < 50; ++i) f.a.send(64, i);
+  f.sim.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i].tag, static_cast<unsigned>(i));
+  EXPECT_GT(f.a.retransmissions(), 0u);
+  EXPECT_FALSE(f.a.failed());
+  EXPECT_EQ(f.a.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, AbortsAfterRetryBudgetAgainstDeadPeer) {
+  ChannelFixture f;
+  std::string reason;
+  f.a.set_failure_handler([&](std::string_view r) { reason = r; });
+  f.net.set_host_up(f.b_host, false);  // peer frozen forever
+  f.a.send(100);
+  f.sim.run();
+  EXPECT_TRUE(f.a.failed());
+  EXPECT_FALSE(reason.empty());
+  // Abort lands one retry-budget after the send.
+  const ReliableConfig cfg;
+  EXPECT_NEAR(sim::to_seconds(f.sim.now()),
+              sim::to_seconds(cfg.retry_budget()), 0.2);
+  // A failed endpoint refuses further sends.
+  EXPECT_EQ(f.a.send(1), 0u);
+}
+
+TEST(ReliableChannelTest, FrozenSenderConsumesNoRetries) {
+  ChannelFixture f;
+  f.net.set_host_up(f.b_host, false);
+  f.a.send(100);
+  // Freeze the sender before its budget runs out; keep both frozen a long
+  // time; then thaw both. The transfer must complete, not abort.
+  f.sim.schedule_after(3 * sim::kSecond,
+                       [&] { f.net.set_host_up(f.a_host, false); });
+  f.sim.schedule_after(10 * sim::kMinute, [&] {
+    f.net.set_host_up(f.a_host, true);
+    f.net.set_host_up(f.b_host, true);
+  });
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  f.sim.run();
+  EXPECT_FALSE(f.a.failed());
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(ReliableChannelTest, PaperScenario1_DataLostAcrossCut) {
+  // A message is in flight when the receiver freezes; it is dropped, never
+  // ACKed, and retransmitted after both guests thaw (paper §3 scenario 1).
+  ChannelFixture f;
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  f.a.send(100);
+  // Freeze the receiver before the packet lands (latency ~100 us).
+  f.net.set_host_up(f.b_host, false);
+  // Freeze the "sender guest" a moment later (coordinated checkpoint).
+  f.sim.schedule_after(5 * sim::kMillisecond,
+                       [&] { f.net.set_host_up(f.a_host, false); });
+  // Restore both much later.
+  f.sim.schedule_after(2 * sim::kMinute, [&] {
+    f.net.set_host_up(f.a_host, true);
+    f.net.set_host_up(f.b_host, true);
+  });
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_FALSE(f.a.failed());
+  EXPECT_GE(f.a.retransmissions(), 1u);
+}
+
+TEST(ReliableChannelTest, PaperScenario2_AckLostAcrossCut) {
+  // The receiver delivers and ACKs, but the ACK dies on the wire before
+  // the cut. After restore the sender retransmits; the receiver re-ACKs
+  // the duplicate without redelivering (paper §3 scenario 2).
+  ChannelFixture f;
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  f.a.send(100);
+  // The data packet is already on the wire; freezing the sender now means
+  // the receiver's ACK will find the sender's NIC dark and be lost.
+  f.net.set_host_up(f.a_host, false);
+  f.sim.schedule_after(5 * sim::kMillisecond, [&] {
+    EXPECT_EQ(got.size(), 1u);  // receiver delivered before its own freeze
+    f.net.set_host_up(f.b_host, false);
+  });
+  f.sim.schedule_after(2 * sim::kMinute, [&] {
+    f.net.set_host_up(f.a_host, true);
+    f.net.set_host_up(f.b_host, true);
+  });
+  f.sim.run();
+  EXPECT_EQ(got.size(), 1u);           // exactly once: no redelivery
+  EXPECT_EQ(f.b.duplicates_discarded(), 1u);
+  EXPECT_FALSE(f.a.failed());
+  EXPECT_EQ(f.a.unacked(), 0u);        // the re-ACK completed the exchange
+}
+
+TEST(ReliableChannelTest, SnapshotRestoreRoundTripsState) {
+  ChannelFixture f;
+  f.net.set_host_up(f.b_host, false);
+  f.a.send(100, 5);
+  f.a.send(200, 6);
+  f.sim.run_until(sim::kSecond);
+  const TransportSnapshot snap = f.a.snapshot();
+  EXPECT_EQ(snap.next_seq, 2u);
+  EXPECT_EQ(snap.acked, 0u);
+  EXPECT_EQ(snap.unacked.size(), 2u);
+  EXPECT_EQ(snap.unacked.at(0).first, 100u);
+  EXPECT_EQ(snap.unacked.at(1).second, 6u);
+}
+
+TEST(ReliableChannelTest, RollbackRestoreRedeliversUnacked) {
+  ChannelFixture f;
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+
+  // Freeze both sides with a message unACKed; snapshot; then simulate a
+  // crash-and-rollback: both endpoints restore with a bumped epoch.
+  f.net.set_host_up(f.b_host, false);
+  f.a.send(123, 9);
+  f.sim.run_until(10 * sim::kMillisecond);
+  f.net.set_host_up(f.a_host, false);
+  const TransportSnapshot sa = f.a.snapshot();
+  const TransportSnapshot sb = f.b.snapshot();
+
+  f.sim.run_until(sim::kMinute);
+  f.net.set_host_up(f.a_host, true);
+  f.net.set_host_up(f.b_host, true);
+  f.a.restore(sa, /*epoch=*/1);
+  f.b.restore(sb, /*epoch=*/1);
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].bytes, 123u);
+  EXPECT_EQ(got[0].tag, 9u);
+  EXPECT_EQ(f.a.unacked(), 0u);
+}
+
+TEST(ReliableChannelTest, StaleEpochPacketsAreIgnored) {
+  ChannelFixture f;
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  // b rolls forward to epoch 1; a (still epoch 0) sends — ignored.
+  f.b.restore(TransportSnapshot{}, /*epoch=*/1);
+  f.a.send(55);
+  f.sim.run_until(sim::kSecond);
+  EXPECT_TRUE(got.empty());
+  // Once a is also restored into epoch 1, traffic flows again.
+  TransportSnapshot sa = f.a.snapshot();
+  f.a.restore(sa, /*epoch=*/1);
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+}
+
+TEST(ReliableChannelTest, RestoreReopensFailedEndpoint) {
+  ChannelFixture f;
+  f.net.set_host_up(f.b_host, false);
+  f.a.send(100);
+  f.sim.run();  // aborts
+  ASSERT_TRUE(f.a.failed());
+  TransportSnapshot sa;
+  sa.next_seq = 1;  // pretend the checkpoint saw the message queued
+  sa.unacked.emplace(0, std::make_pair(100u, 0u));
+  f.net.set_host_up(f.b_host, true);
+  f.a.restore(sa, 1);
+  f.b.restore(TransportSnapshot{}, 1);
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  f.sim.run();
+  EXPECT_FALSE(f.a.failed());
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(ReliableConnectionTest, WrapsTwoEndpoints) {
+  sim::Simulation sim;
+  auto link = std::make_shared<FlatLinkModel>(FlatLinkModel::Config{});
+  Network net(sim, link, sim::Rng(3));
+  const HostId h1 = net.new_host();
+  const HostId h2 = net.new_host();
+  ReliableConnection conn(sim, net, {h1, 9}, {h2, 9});
+  int delivered = 0;
+  conn.end_b().set_delivery_handler([&](const Message&) { ++delivered; });
+  conn.end_a().send(10);
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_FALSE(conn.failed());
+}
+
+// Property sweep: exactly-once in-order delivery under loss x seed.
+class LossSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(LossSweep, ExactlyOnceInOrderUnderLoss) {
+  const auto [loss, seed] = GetParam();
+  ReliableConfig cfg;
+  cfg.max_retries = 14;
+  ChannelFixture f(loss, cfg, seed);
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+  constexpr int kMessages = 120;
+  // Spread sends over time so reordering between retransmits can happen.
+  for (int i = 0; i < kMessages; ++i) {
+    f.sim.schedule_after(i * 3 * sim::kMillisecond,
+                         [&f, i] { f.a.send(32, i); });
+  }
+  f.sim.run();
+  ASSERT_FALSE(f.a.failed()) << "loss=" << loss << " seed=" << seed;
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[i].tag, static_cast<std::uint32_t>(i));
+    EXPECT_EQ(got[i].id, static_cast<std::uint64_t>(i) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossGrid, LossSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.02, 0.1, 0.3),
+                       ::testing::Values(1ull, 17ull, 4242ull)));
+
+// Property sweep: exactly-once in-order delivery survives arbitrary
+// freeze/thaw patterns on both hosts (checkpoint cuts at random times),
+// as long as the transport's retry budget is generous enough.
+class FreezeChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FreezeChaos, ExactlyOnceThroughRandomCuts) {
+  ReliableConfig cfg;
+  cfg.max_retries = 30;  // patience >> any freeze in this test
+  ChannelFixture f(/*loss=*/0.05, cfg, GetParam());
+  sim::Rng rng(GetParam() ^ 0xF5EE);
+  std::vector<Message> got;
+  f.b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+
+  constexpr int kMessages = 80;
+  for (int i = 0; i < kMessages; ++i) {
+    f.sim.schedule_after(i * 50 * sim::kMillisecond,
+                         [&f, i] { f.a.send(64, i); });
+  }
+  // Random freeze/thaw pulses on both hosts over the send window.
+  sim::Time t = 0;
+  for (int pulse = 0; pulse < 12; ++pulse) {
+    t += rng.exponential_duration(400 * sim::kMillisecond);
+    const net::HostId victim = rng.chance(0.5) ? f.a_host : f.b_host;
+    const sim::Duration down =
+        rng.exponential_duration(500 * sim::kMillisecond);
+    f.sim.schedule_at(t, [&f, victim] { f.net.set_host_up(victim, false); });
+    f.sim.schedule_at(t + down,
+                      [&f, victim] { f.net.set_host_up(victim, true); });
+    t += down;
+  }
+  f.sim.run();
+  ASSERT_FALSE(f.a.failed()) << "seed=" << GetParam();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[i].tag, static_cast<std::uint32_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreezeChaos,
+                         ::testing::Values(1, 7, 23, 77, 123, 999, 5150,
+                                           31337));
+
+}  // namespace
+}  // namespace dvc::net

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "tools/scenario_config.hpp"
+
+namespace dvc::tools {
+namespace {
+
+TEST(ScenarioConfigTest, ParsesTypedValues) {
+  const auto cfg = ScenarioConfig::parse(
+      "# a comment\n"
+      "experiment = reliability\n"
+      "vc_size=26   # trailing comment\n"
+      "iter_seconds =  0.25\n"
+      "\n"
+      "proactive = yes\n");
+  EXPECT_EQ(cfg.get_string("experiment", ""), "reliability");
+  EXPECT_EQ(cfg.get_int("vc_size", 0), 26);
+  EXPECT_DOUBLE_EQ(cfg.get_double("iter_seconds", 0.0), 0.25);
+  EXPECT_TRUE(cfg.get_bool("proactive", false));
+  EXPECT_TRUE(cfg.has("vc_size"));
+  EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(ScenarioConfigTest, FallbacksApplyForMissingKeys) {
+  const auto cfg = ScenarioConfig::parse("");
+  EXPECT_EQ(cfg.get_string("x", "dflt"), "dflt");
+  EXPECT_EQ(cfg.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(cfg.get_bool("x", false));
+}
+
+TEST(ScenarioConfigTest, RejectsMalformedInput) {
+  EXPECT_THROW(ScenarioConfig::parse("not a key value line\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioConfig::parse("= value\n"), std::invalid_argument);
+  const auto cfg = ScenarioConfig::parse("n = twelve\nb = maybe\n");
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(ScenarioConfigTest, LastDuplicateWins) {
+  const auto cfg = ScenarioConfig::parse("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 2);
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dvc::tools

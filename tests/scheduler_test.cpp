@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.hpp"
+#include "rm/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace dvc::rm {
+namespace {
+
+struct RmFixture {
+  explicit RmFixture(Scheduler::Config cfg = {}, std::uint32_t clusters = 2,
+                     std::uint32_t nodes = 4)
+      : sched(sim, fabric, cfg) {
+    for (std::uint32_t c = 0; c < clusters; ++c) {
+      fabric.add_cluster("c" + std::to_string(c), nodes);
+    }
+  }
+
+  sim::Simulation sim;
+  hw::Fabric fabric{sim, {}};
+  Scheduler sched;
+};
+
+JobRequest job(std::uint32_t nodes, double work_node_seconds = 100.0,
+               hw::ClusterId home = 0) {
+  JobRequest r;
+  r.nodes_requested = nodes;
+  r.node_seconds_work = work_node_seconds;
+  r.home_cluster = home;
+  return r;
+}
+
+TEST(SchedulerTest, RejectsZeroNodeRequests) {
+  RmFixture f;
+  EXPECT_THROW(f.sched.submit(job(0)), std::invalid_argument);
+}
+
+TEST(SchedulerTest, RunsJobForWorkOverNodes) {
+  RmFixture f;
+  std::vector<JobId> finished;
+  f.sched.set_on_finish(
+      [&](const JobRecord& j) { finished.push_back(j.id); });
+  const JobId id = f.sched.submit(job(4, 400.0));
+  f.sim.run();
+  EXPECT_EQ(finished, (std::vector<JobId>{id}));
+  const JobRecord& rec = f.sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_EQ(rec.allocation.nodes.size(), 4u);
+  EXPECT_FALSE(rec.allocation.spans_clusters);
+  // 400 node-seconds on 4 nodes = 100 s.
+  EXPECT_NEAR(sim::to_seconds(rec.finished_at - rec.started_at), 100.0,
+              0.01);
+}
+
+TEST(SchedulerTest, PrefersHomeClusterThenForeign) {
+  RmFixture f;
+  const JobId a = f.sched.submit(job(4, 1000.0, /*home=*/1));
+  const JobId b = f.sched.submit(job(4, 1000.0, /*home=*/1));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.fabric.node(f.sched.job(a).allocation.nodes[0]).cluster(), 1u);
+  EXPECT_EQ(f.fabric.node(f.sched.job(b).allocation.nodes[0]).cluster(), 0u);
+  EXPECT_EQ(f.sched.running(), 2u);
+}
+
+TEST(SchedulerTest, FifoHeadBlocksQueue) {
+  RmFixture f(Scheduler::Config{}, /*clusters=*/1, /*nodes=*/4);
+  f.sched.submit(job(3, 300.0));  // runs, leaves 1 free
+  f.sched.submit(job(2, 100.0));  // blocked (head of queue)
+  const JobId tiny = f.sched.submit(job(1, 1.0));  // would fit, but FCFS
+  f.sim.run_until(10 * sim::kSecond);
+  EXPECT_EQ(f.sched.queued(), 2u);
+  EXPECT_EQ(f.sched.job(tiny).state, JobState::kQueued);
+  f.sim.run();
+  EXPECT_EQ(f.sched.completed(), 3u);
+}
+
+TEST(SchedulerTest, WithoutSpanningOversizedJobIsMolded) {
+  RmFixture f;  // 2 clusters x 4 nodes, spanning off
+  const JobId id = f.sched.submit(job(6, 600.0));
+  f.sim.run();
+  const JobRecord& rec = f.sched.job(id);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  // Molded down to a full single cluster: 4 nodes, so it ran 150 s
+  // instead of the 100 s it would have taken on 6.
+  EXPECT_EQ(rec.allocation.nodes.size(), 4u);
+  EXPECT_NEAR(sim::to_seconds(rec.finished_at - rec.started_at), 150.0,
+              0.01);
+}
+
+TEST(SchedulerTest, MoldingRespectsMinNodesFloor) {
+  RmFixture f;  // 2 clusters x 4 nodes, spanning off, molding on
+  JobRequest strict = job(6, 600.0);
+  strict.min_nodes = 5;  // will not accept fewer than 5 nodes
+  const JobId id = f.sched.submit(strict);
+  // 6 > biggest cluster (4) and the floor (5) > 4 too: rejected outright.
+  EXPECT_EQ(f.sched.job(id).state, JobState::kFailed);
+
+  JobRequest flexible = job(6, 600.0);
+  flexible.min_nodes = 3;
+  const JobId ok = f.sched.submit(flexible);
+  f.sim.run();
+  EXPECT_EQ(f.sched.job(ok).state, JobState::kCompleted);
+  EXPECT_EQ(f.sched.job(ok).allocation.nodes.size(), 4u);
+}
+
+TEST(SchedulerTest, SpanningRunsOversizedJobAcrossClusters) {
+  Scheduler::Config cfg;
+  cfg.allow_spanning = true;
+  RmFixture f(cfg);
+  const JobId id = f.sched.submit(job(6, 600.0));
+  f.sim.run();
+  const JobRecord& rec = f.sched.job(id);
+  EXPECT_EQ(rec.allocation.nodes.size(), 6u);
+  EXPECT_TRUE(rec.allocation.spans_clusters);
+  EXPECT_NEAR(sim::to_seconds(rec.finished_at - rec.started_at), 100.0,
+              0.01);
+}
+
+TEST(SchedulerTest, RigidOversizedJobIsRejectedWithoutSpanning) {
+  Scheduler::Config cfg;
+  cfg.mold_oversized = false;
+  RmFixture f(cfg);
+  // 6 > any single 4-node cluster and it may not mold or span: rejected at
+  // submit instead of head-blocking the FCFS queue forever.
+  const JobId id = f.sched.submit(job(6, 600.0));
+  EXPECT_EQ(f.sched.job(id).state, JobState::kFailed);
+  EXPECT_EQ(f.sched.failed(), 1u);
+  // The same request is accepted once spanning is allowed.
+  Scheduler::Config span_cfg;
+  span_cfg.allow_spanning = true;
+  span_cfg.mold_oversized = false;
+  RmFixture g(span_cfg);
+  const JobId ok = g.sched.submit(job(6, 600.0));
+  g.sim.run();
+  EXPECT_EQ(g.sched.job(ok).state, JobState::kCompleted);
+}
+
+TEST(SchedulerTest, ReleasedNodesUnblockQueue) {
+  RmFixture f(Scheduler::Config{}, 1, 4);
+  f.sched.submit(job(4, 400.0));        // 100 s
+  const JobId second = f.sched.submit(job(4, 40.0));
+  f.sim.run();
+  const JobRecord& rec = f.sched.job(second);
+  EXPECT_EQ(rec.state, JobState::kCompleted);
+  EXPECT_NEAR(sim::to_seconds(rec.started_at), 100.0, 0.01);
+  EXPECT_NEAR(f.sched.wait_stats().max(), 100.0, 0.01);
+}
+
+TEST(SchedulerTest, FailedNodesAreNeverAllocated) {
+  RmFixture f(Scheduler::Config{}, 1, 4);
+  f.fabric.fail_node(0);
+  const JobId id = f.sched.submit(job(4, 400.0));
+  f.sim.run_until(10 * sim::kSecond);
+  // Only 3 healthy nodes: a 4-node job cannot start in a 4-node cluster
+  // with one dead node (it molds to... nothing smaller exists).
+  EXPECT_EQ(f.sched.job(id).state, JobState::kQueued);
+  f.fabric.repair_node(0);
+  // A repair alone does not re-run the queue in this design; the next
+  // scheduling event does. Submit a tiny job to trigger one.
+  f.sched.submit(job(1, 0.001));
+  f.sim.run();
+  EXPECT_EQ(f.sched.job(id).state, JobState::kCompleted);
+}
+
+TEST(SchedulerTest, NodeFailureKillsRunningJobAndFreesNodes) {
+  RmFixture f(Scheduler::Config{}, 1, 4);
+  const JobId id = f.sched.submit(job(4, 4000.0));
+  f.sim.run_until(10 * sim::kSecond);
+  f.fabric.fail_node(2);
+  EXPECT_EQ(f.sched.job(id).state, JobState::kFailed);
+  EXPECT_EQ(f.sched.failed(), 1u);
+  // The three healthy nodes are free again for the next job.
+  const JobId next = f.sched.submit(job(3, 30.0));
+  f.sim.run();
+  EXPECT_EQ(f.sched.job(next).state, JobState::kCompleted);
+}
+
+TEST(SchedulerTest, EasyBackfillLetsSmallJobsJumpWithoutDelayingHead) {
+  Scheduler::Config cfg;
+  cfg.easy_backfill = true;
+  RmFixture f(cfg, /*clusters=*/1, /*nodes=*/4);
+  // Job A holds 3 nodes for 100 s. Head-of-queue B needs all 4 nodes, so
+  // it must wait for A. Tiny C (1 node, 50 s) fits in the stray node and
+  // finishes before A does — EASY lets it jump.
+  const JobId a = f.sched.submit(job(3, 300.0));   // ends at t=100
+  const JobId b = f.sched.submit(job(4, 400.0));   // shadow start t=100
+  const JobId c = f.sched.submit(job(1, 50.0));    // 50 s on 1 node
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.sched.job(c).state, JobState::kRunning);  // backfilled
+  EXPECT_EQ(f.sched.job(b).state, JobState::kQueued);
+  EXPECT_EQ(f.sched.backfilled(), 1u);
+  f.sim.run();
+  // B still started exactly when A ended — the backfill cost it nothing.
+  EXPECT_NEAR(sim::to_seconds(f.sched.job(b).started_at), 100.0, 0.01);
+  EXPECT_EQ(f.sched.job(a).state, JobState::kCompleted);
+}
+
+TEST(SchedulerTest, EasyBackfillRefusesJobsThatWouldDelayHead) {
+  Scheduler::Config cfg;
+  cfg.easy_backfill = true;
+  RmFixture f(cfg, /*clusters=*/1, /*nodes=*/4);
+  f.sched.submit(job(3, 300.0));                    // ends at t=100
+  const JobId b = f.sched.submit(job(4, 400.0));    // shadow start t=100
+  const JobId d = f.sched.submit(job(1, 200.0));    // 200 s > shadow slack
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.sched.job(d).state, JobState::kQueued);
+  EXPECT_EQ(f.sched.backfilled(), 0u);
+  f.sim.run();
+  EXPECT_NEAR(sim::to_seconds(f.sched.job(b).started_at), 100.0, 0.01);
+}
+
+TEST(SchedulerTest, BackfillDisabledKeepsStrictFcfs) {
+  RmFixture f(Scheduler::Config{}, 1, 4);
+  f.sched.submit(job(3, 300.0));
+  f.sched.submit(job(4, 400.0));
+  const JobId c = f.sched.submit(job(1, 50.0));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.sched.job(c).state, JobState::kQueued);
+}
+
+TEST(SchedulerTest, CallerDrivenCompletion) {
+  Scheduler::Config cfg;
+  cfg.auto_run = false;
+  RmFixture f(cfg);
+  const JobId id = f.sched.submit(job(2, 100.0));
+  f.sim.run_until(sim::kSecond);
+  EXPECT_EQ(f.sched.job(id).state, JobState::kRunning);
+  f.sim.run_until(50 * sim::kSecond);
+  f.sched.complete(id);
+  EXPECT_EQ(f.sched.job(id).state, JobState::kCompleted);
+  EXPECT_EQ(f.sched.completed(), 1u);
+}
+
+TEST(SchedulerTest, UtilisationIntegralAccumulates) {
+  RmFixture f(Scheduler::Config{}, 1, 4);
+  f.sched.submit(job(2, 20.0));  // 2 nodes x 10 s = 20 node-seconds
+  f.sim.run();
+  EXPECT_NEAR(f.sched.busy_node_seconds(), 20.0, 0.1);
+}
+
+TEST(SchedulerTest, StartupOverheadExtendsRuntime) {
+  RmFixture f;
+  JobRequest r = job(2, 20.0);
+  r.startup_overhead = 30 * sim::kSecond;  // virtual cluster boot cost
+  const JobId id = f.sched.submit(r);
+  f.sim.run();
+  const JobRecord& rec = f.sched.job(id);
+  EXPECT_NEAR(sim::to_seconds(rec.finished_at - rec.started_at), 40.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace dvc::rm

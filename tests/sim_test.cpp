@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace dvc::sim {
+namespace {
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(kSecond), 1000.0);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+TEST(SimulationTest, FiresInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.executed(), 3u);
+}
+
+TEST(SimulationTest, SameTimeFiresInInsertionOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, ScheduleAfterAdvancesFromNow) {
+  Simulation s;
+  Time fired_at = -1;
+  s.schedule_after(100, [&] {
+    s.schedule_after(50, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation s;
+  Time fired_at = -1;
+  s.schedule_after(100, [&] {
+    s.schedule_after(-500, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulationTest, PastAbsoluteTimeClampsToNow) {
+  Simulation s;
+  Time fired_at = -1;
+  s.schedule_at(100, [&] {
+    s.schedule_at(10, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(SimulationTest, CancelTwiceReturnsFalse) {
+  Simulation s;
+  const EventId id = s.schedule_at(10, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(9999));  // never allocated
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation s;
+  std::vector<Time> fired;
+  s.schedule_at(10, [&] { fired.push_back(10); });
+  s.schedule_at(20, [&] { fired.push_back(20); });
+  s.schedule_at(30, [&] { fired.push_back(30); });
+  const auto n = s.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(25);
+  EXPECT_EQ(s.now(), 25);  // idle time still advances
+  s.run();
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SimulationTest, RunUntilSkipsCancelledHead) {
+  Simulation s;
+  bool late_fired = false;
+  const EventId id = s.schedule_at(5, [] {});
+  s.schedule_at(50, [&] { late_fired = true; });
+  s.cancel(id);
+  s.run_until(10);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(60);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulationTest, RunWithLimitStopsEarly) {
+  Simulation s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunAreExecuted) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(SimulationTest, DaemonEventsDoNotKeepRunAlive) {
+  Simulation s;
+  int daemon_fires = 0;
+  std::function<void()> heartbeat = [&] {
+    ++daemon_fires;
+    s.schedule_daemon_after(10, heartbeat);  // reschedules forever
+  };
+  s.schedule_daemon_after(10, heartbeat);
+  bool work_done = false;
+  s.schedule_at(35, [&] { work_done = true; });
+  s.run();  // must terminate despite the immortal heartbeat
+  EXPECT_TRUE(work_done);
+  // The heartbeat ran while foreground work was pending (t=10,20,30)...
+  EXPECT_EQ(daemon_fires, 3);
+  // ...and one daemon event is still queued, not keeping us alive.
+  EXPECT_EQ(s.pending_foreground(), 0u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SimulationTest, RunUntilStillDrivesDaemons) {
+  Simulation s;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    ++fires;
+    s.schedule_daemon_after(10, tick);
+  };
+  s.schedule_daemon_after(10, tick);
+  s.run_until(55);
+  EXPECT_EQ(fires, 5);  // t = 10..50
+  EXPECT_EQ(s.now(), 55);
+}
+
+TEST(SimulationTest, CancellingADaemonKeepsForegroundCountRight) {
+  Simulation s;
+  const EventId d = s.schedule_daemon_after(10, [] {});
+  s.schedule_after(20, [] {});
+  EXPECT_EQ(s.pending_foreground(), 1u);
+  EXPECT_TRUE(s.cancel(d));
+  EXPECT_EQ(s.pending_foreground(), 1u);
+  EXPECT_EQ(s.run(), 1u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsIndependentOfParentConsumption) {
+  Rng a(7);
+  Rng child = a.fork(1);
+  const auto c0 = child.next_u64();
+  Rng b(7);
+  Rng child2 = b.fork(1);
+  EXPECT_EQ(c0, child2.next_u64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng r(13);
+  SummaryStats st;
+  for (int i = 0; i < 200000; ++i) st.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng r(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, NormalDurationNeverNegative) {
+  Rng r(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.normal_duration(10, 100), 0);
+  }
+}
+
+TEST(StatsTest, BasicMoments) {
+  SummaryStats st;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) st.add(x);
+  EXPECT_EQ(st.count(), 5u);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 5.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 15.0);
+  EXPECT_NEAR(st.stddev(), 1.5811, 1e-3);
+}
+
+TEST(StatsTest, EmptyIsZero) {
+  SummaryStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.stddev(), 0.0);
+}
+
+TEST(StatsTest, PercentilesWithSamples) {
+  SummaryStats st(/*keep_samples=*/true);
+  for (int i = 1; i <= 100; ++i) st.add(i);
+  EXPECT_NEAR(st.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(st.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(st.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(st.percentile(95), 95.05, 0.01);
+}
+
+}  // namespace
+}  // namespace dvc::sim

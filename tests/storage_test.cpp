@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "storage/bandwidth_pool.hpp"
+#include "storage/image_manager.hpp"
+#include "storage/shared_store.hpp"
+
+namespace dvc::storage {
+namespace {
+
+TEST(BandwidthPoolTest, SingleTransferTakesBytesOverRate) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 100.0);  // 100 bytes/s
+  bool done = false;
+  pool.start(200, [&] { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim::to_seconds(s.now()), 2.0, 0.01);
+  EXPECT_EQ(pool.completed(), 1u);
+}
+
+TEST(BandwidthPoolTest, ConcurrentTransfersShareFairly) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 100.0);
+  std::vector<double> finish(2, 0.0);
+  pool.start(100, [&] { finish[0] = sim::to_seconds(s.now()); });
+  pool.start(100, [&] { finish[1] = sim::to_seconds(s.now()); });
+  s.run();
+  // Two equal transfers at half rate each: both end at 2 s, not 1 s.
+  EXPECT_NEAR(finish[0], 2.0, 0.01);
+  EXPECT_NEAR(finish[1], 2.0, 0.01);
+}
+
+TEST(BandwidthPoolTest, ShortTransferLeavesLongOneToSpeedUp) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 100.0);
+  double short_done = 0.0;
+  double long_done = 0.0;
+  pool.start(50, [&] { short_done = sim::to_seconds(s.now()); });
+  pool.start(150, [&] { long_done = sim::to_seconds(s.now()); });
+  s.run();
+  // Shared until t=1 (50 bytes each), then the long one gets full rate:
+  // 100 remaining bytes at 100 B/s -> finishes at t=2.
+  EXPECT_NEAR(short_done, 1.0, 0.01);
+  EXPECT_NEAR(long_done, 2.0, 0.01);
+}
+
+TEST(BandwidthPoolTest, LateArrivalSlowsTheFirst) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 100.0);
+  double first_done = 0.0;
+  pool.start(100, [&] { first_done = sim::to_seconds(s.now()); });
+  s.schedule_after(sim::from_seconds(0.5), [&] {
+    pool.start(1000, [] {});
+  });
+  s.run();
+  // 50 bytes in the first 0.5 s alone, remaining 50 at half rate -> 1 s
+  // more: finishes at 1.5 s.
+  EXPECT_NEAR(first_done, 1.5, 0.01);
+}
+
+TEST(BandwidthPoolTest, CancelRemovesTransfer) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 100.0);
+  bool cancelled_fired = false;
+  double other_done = 0.0;
+  const TransferId id = pool.start(1000, [&] { cancelled_fired = true; });
+  pool.start(100, [&] { other_done = sim::to_seconds(s.now()); });
+  s.schedule_after(sim::from_seconds(0.1), [&] {
+    EXPECT_TRUE(pool.cancel(id));
+    EXPECT_FALSE(pool.cancel(id));
+  });
+  s.run();
+  EXPECT_FALSE(cancelled_fired);
+  // 5 bytes in the shared 0.1 s, then full rate: 95/100 -> done at 1.05 s.
+  EXPECT_NEAR(other_done, 1.05, 0.01);
+}
+
+TEST(BandwidthPoolTest, NSaversContendLinearly) {
+  sim::Simulation s;
+  BandwidthPool pool(s, 1000.0);
+  int done = 0;
+  for (int i = 0; i < 26; ++i) {
+    pool.start(1000, [&] { ++done; });
+  }
+  s.run();
+  EXPECT_EQ(done, 26);
+  // 26 x 1000 bytes through a 1000 B/s pipe: 26 s total.
+  EXPECT_NEAR(sim::to_seconds(s.now()), 26.0, 0.1);
+  EXPECT_NEAR(sim::to_seconds(pool.uncontended_time(1000)), 1.0, 1e-9);
+}
+
+class PoolConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolConservation, WorkConservingUnderRandomArrivals) {
+  // Property: a processor-sharing pool is work-conserving — with no idle
+  // gaps, the last completion lands exactly at total_bytes / capacity,
+  // regardless of arrival pattern inside the busy period.
+  sim::Simulation s;
+  BandwidthPool pool(s, 1000.0);
+  sim::Rng rng(GetParam());
+  double total = 0.0;
+  int done = 0;
+  int started = 0;
+  // First transfer at t=0 is big enough to keep the pool busy while the
+  // others trickle in.
+  const double first = 50000.0;
+  total += first;
+  pool.start(static_cast<std::uint64_t>(first), [&] { ++done; });
+  ++started;
+  for (int i = 0; i < 20; ++i) {
+    const double bytes = 100.0 + rng.uniform() * 2000.0;
+    const sim::Duration at = sim::from_seconds(rng.uniform() * 40.0);
+    total += bytes;
+    ++started;
+    s.schedule_at(at, [&pool, bytes, &done] {
+      pool.start(static_cast<std::uint64_t>(bytes), [&] { ++done; });
+    });
+  }
+  s.run();
+  EXPECT_EQ(done, started);
+  EXPECT_NEAR(sim::to_seconds(s.now()), total / 1000.0, 0.05 * started);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolConservation,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+TEST(SharedStoreTest, WriteThenReadVerifiesChecksum) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ObjectId id = kInvalidObject;
+  store.write_object("img", 1 << 20, synthetic_checksum(1, 2, 3),
+                     [&](ObjectId oid) { id = oid; });
+  s.run();
+  ASSERT_NE(id, kInvalidObject);
+  const auto info = store.info(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->bytes, 1u << 20);
+  bool ok = false;
+  store.read_object(id, [&](bool r) { ok = r; });
+  s.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(SharedStoreTest, ReadOfMissingObjectFails) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  bool ok = true;
+  store.read_object(12345, [&](bool r) { ok = r; });
+  s.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(SharedStoreTest, RemoveReclaimsBytes) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  const ObjectId id = store.put_object("base", 500, 1);
+  EXPECT_EQ(store.bytes_stored(), 500u);
+  EXPECT_TRUE(store.remove_object(id));
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_FALSE(store.remove_object(id));
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST(SharedStoreTest, WriteTimeReflectsBandwidthAndOverhead) {
+  sim::Simulation s;
+  SharedStore::Config cfg;
+  cfg.write_bps = 1e6;
+  cfg.op_overhead = 10 * sim::kMillisecond;
+  SharedStore store(s, cfg);
+  store.write_object("x", 1'000'000, 0, [](ObjectId) {});
+  s.run();
+  EXPECT_NEAR(sim::to_seconds(s.now()), 1.01, 0.02);
+  EXPECT_EQ(store.write_time_stats().count(), 1u);
+}
+
+TEST(SharedStoreTest, ChecksumIsDeterministicAndDiscriminates) {
+  EXPECT_EQ(synthetic_checksum(1, 2, 3), synthetic_checksum(1, 2, 3));
+  EXPECT_NE(synthetic_checksum(1, 2, 3), synthetic_checksum(1, 2, 4));
+  EXPECT_NE(synthetic_checksum(1, 2, 3), synthetic_checksum(3, 2, 1));
+}
+
+TEST(ImageManagerTest, BaseImagesAreFindable) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const ObjectId id = mgr.register_base_image("debian-hpc", 2ull << 30);
+  EXPECT_EQ(mgr.find_base_image("debian-hpc"), std::optional(id));
+  EXPECT_FALSE(mgr.find_base_image("missing").has_value());
+}
+
+TEST(ImageManagerTest, SetSealsWhenAllMembersDurable) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const CheckpointSetId set = mgr.open_set("vc1", 3);
+  bool sealed = false;
+  mgr.on_sealed(set, [&] { sealed = true; });
+  for (std::uint64_t m = 0; m < 3; ++m) mgr.add_member(set, m, 1000);
+  s.run();
+  EXPECT_TRUE(sealed);
+  const CheckpointSet* cs = mgr.find_set(set);
+  ASSERT_NE(cs, nullptr);
+  EXPECT_TRUE(cs->sealed);
+  EXPECT_EQ(cs->members.size(), 3u);
+  EXPECT_EQ(cs->total_bytes(), 3000u);
+}
+
+TEST(ImageManagerTest, PartialSetNeverSeals) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const CheckpointSetId set = mgr.open_set("vc1", 3);
+  mgr.add_member(set, 0, 1000);
+  mgr.add_member(set, 1, 1000);
+  s.run();
+  EXPECT_FALSE(mgr.find_set(set)->sealed);
+  EXPECT_EQ(mgr.latest_sealed("vc1"), nullptr);
+}
+
+TEST(ImageManagerTest, AbortGarbageCollectsMembers) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const CheckpointSetId set = mgr.open_set("vc1", 2);
+  mgr.add_member(set, 0, 1000);
+  s.run();
+  mgr.abort_set(set);
+  EXPECT_TRUE(mgr.find_set(set)->aborted);
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  // A member landing after the abort is dropped too.
+  mgr.add_member(set, 1, 1000);
+  s.run();
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_FALSE(mgr.find_set(set)->sealed);
+}
+
+TEST(ImageManagerTest, LatestSealedPicksNewest) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const auto s1 = mgr.open_set("vc", 1);
+  const auto s2 = mgr.open_set("vc", 1);
+  const auto other = mgr.open_set("other", 1);
+  mgr.add_member(s1, 0, 10);
+  mgr.add_member(s2, 0, 20);
+  mgr.add_member(other, 0, 30);
+  s.run();
+  ASSERT_NE(mgr.latest_sealed("vc"), nullptr);
+  EXPECT_EQ(mgr.latest_sealed("vc")->id, s2);
+  EXPECT_EQ(mgr.latest_sealed("other")->id, other);
+}
+
+TEST(ImageManagerTest, StageSetReadsEveryMember) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const auto set = mgr.open_set("vc", 4);
+  for (std::uint64_t m = 0; m < 4; ++m) mgr.add_member(set, m, 1 << 20);
+  s.run();
+  bool staged = false;
+  bool ok = false;
+  mgr.stage_set(set, [&](bool r) {
+    staged = true;
+    ok = r;
+  });
+  s.run();
+  EXPECT_TRUE(staged);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ImageManagerTest, StageOfUnsealedSetFails) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  const auto set = mgr.open_set("vc", 2);
+  mgr.add_member(set, 0, 100);
+  s.run();
+  bool ok = true;
+  mgr.stage_set(set, [&](bool r) { ok = r; });
+  s.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST(ImageManagerTest, PruneKeepsNewestSets) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ImageManager mgr(store);
+  std::vector<CheckpointSetId> sets;
+  for (int i = 0; i < 5; ++i) {
+    const auto set = mgr.open_set("vc", 1);
+    mgr.add_member(set, 0, 100);
+    sets.push_back(set);
+  }
+  s.run();
+  const std::uint64_t reclaimed = mgr.prune("vc", 2);
+  EXPECT_EQ(reclaimed, 300u);
+  EXPECT_EQ(mgr.find_set(sets[0]), nullptr);
+  EXPECT_EQ(mgr.find_set(sets[2]), nullptr);
+  ASSERT_NE(mgr.find_set(sets[3]), nullptr);
+  ASSERT_NE(mgr.find_set(sets[4]), nullptr);
+  EXPECT_EQ(mgr.latest_sealed("vc")->id, sets[4]);
+  // Pruning again with everything already within budget is a no-op.
+  EXPECT_EQ(mgr.prune("vc", 2), 0u);
+}
+
+}  // namespace
+}  // namespace dvc::storage

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "core/machine_room.hpp"
+
+namespace dvc::test {
+
+/// Tests use the library's own MachineRoom facility under its older
+/// test-local name.
+using TestBed = core::MachineRoom;
+using TestBedOptions = core::MachineRoomOptions;
+
+}  // namespace dvc::test

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "sim/trace.hpp"
+#include "testbed.hpp"
+
+namespace dvc::sim {
+namespace {
+
+TEST(TraceLogTest, RetainsEventsUpToCapacity) {
+  TraceLog log(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.emit(i, TraceLevel::kInfo, "c", "event " + std::to_string(i));
+  }
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.total_emitted(), 10u);
+  EXPECT_EQ(log.events().front().message, "event 6");
+  EXPECT_EQ(log.events().back().message, "event 9");
+}
+
+TEST(TraceLogTest, MinLevelFilters) {
+  TraceLog log;
+  log.set_min_level(TraceLevel::kWarn);
+  log.emit(0, TraceLevel::kDebug, "c", "quiet");
+  log.emit(0, TraceLevel::kInfo, "c", "also quiet");
+  log.emit(0, TraceLevel::kWarn, "c", "loud");
+  log.emit(0, TraceLevel::kError, "c", "louder");
+  EXPECT_EQ(log.events().size(), 2u);
+  EXPECT_EQ(log.count_at_least(TraceLevel::kError), 1u);
+}
+
+TEST(TraceLogTest, SubscribersSeeEveryEvent) {
+  TraceLog log;
+  std::vector<std::string> seen;
+  log.subscribe([&](const TraceEvent& e) { seen.push_back(e.message); });
+  log.emit(1, TraceLevel::kInfo, "a", "one");
+  log.emit(2, TraceLevel::kError, "b", "two");
+  EXPECT_EQ(seen, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(TraceLogTest, ComponentPrefixAndContains) {
+  TraceLog log;
+  log.emit(0, TraceLevel::kInfo, "hypervisor/3", "saved");
+  log.emit(0, TraceLevel::kInfo, "dvc", "vc#1 sealed");
+  EXPECT_EQ(log.with_component("hypervisor").size(), 1u);
+  EXPECT_EQ(log.with_component("dvc").size(), 1u);
+  EXPECT_TRUE(log.contains("sealed"));
+  EXPECT_FALSE(log.contains("missing"));
+}
+
+TEST(TraceLogTest, NullSinkIsSafe) {
+  trace(nullptr, 0, TraceLevel::kInfo, "c", "dropped");  // must not crash
+}
+
+TEST(TraceIntegrationTest, MachineRoomNarratesFailureAndRecovery) {
+  test::TestBed bed;
+  // A running VC with auto-recovery; a node failure should leave a
+  // readable operational trail in the machine room's trace log.
+  core::VcSpec spec;
+  spec.size = 3;
+  spec.guest.ram_bytes = 64ull << 20;
+  core::VirtualCluster& vc =
+      bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(3), {});
+  bed.sim.run_until(20 * sim::kSecond);
+  app::WorkloadSpec job;
+  job.ranks = 3;
+  job.iterations = 600;
+  job.flops_per_rank_iter = 1e9;
+  job.pattern = app::Pattern::kAllToAll;
+  job.bytes_per_msg = 1024;
+  app::ParallelApp application(bed.sim, bed.fabric.network(), vc.contexts(),
+                               job);
+  bed.dvc->attach_app(vc, application);
+  application.start();
+  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(3));
+  core::DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval = 20 * sim::kSecond;
+  bed.dvc->enable_auto_recovery(vc, policy);
+  bed.sim.schedule_after(40 * sim::kSecond,
+                         [&] { bed.fabric.fail_node(vc.placement(1)); });
+  bed.sim.run_until(600 * sim::kSecond);
+
+  ASSERT_TRUE(application.completed());
+  EXPECT_TRUE(bed.trace.contains("provisioning vc#1"));
+  EXPECT_TRUE(bed.trace.contains("checkpoint sealed"));
+  EXPECT_TRUE(bed.trace.contains("failed"));
+  EXPECT_TRUE(bed.trace.contains("rolling back"));
+  EXPECT_TRUE(bed.trace.contains("recovered"));
+  EXPECT_GE(bed.trace.count_at_least(TraceLevel::kError), 1u);
+  // Events arrive in causal order: failure before rollback before recover.
+  sim::Time failed_at = 0;
+  sim::Time recovered_at = 0;
+  for (const TraceEvent& e : bed.trace.events()) {
+    if (e.message.find("node") == 0 &&
+        e.message.find("failed") != std::string::npos) {
+      failed_at = e.at;
+    }
+    if (e.message.find("recovered") != std::string::npos) {
+      recovered_at = e.at;
+    }
+  }
+  EXPECT_GT(recovered_at, failed_at);
+}
+
+}  // namespace
+}  // namespace dvc::sim

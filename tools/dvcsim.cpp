@@ -1,0 +1,276 @@
+// dvcsim — scenario-driven Dynamic Virtual Clustering simulator.
+//
+//   dvcsim <scenario-file>
+//
+// A scenario file is `key = value` lines (# comments). Common keys:
+//
+//   experiment            reliability | checkpoint | migrate
+//   seed                  RNG seed (default 42)
+//   clusters              physical clusters (default 1)
+//   nodes_per_cluster     nodes per cluster (default 32)
+//   store_write_mbps      shared store write bandwidth (default 100)
+//   vc_size               guests in the virtual cluster (default 16)
+//   guest_ram_mib         guest memory (default 256)
+//   workload              ptrans | hpl (default ptrans)
+//   iterations            bulk-synchronous iterations (default 1000)
+//   iter_seconds          compute seconds per iteration (default 0.5)
+//   checkpoint_interval_s periodic LSC interval (default 300)
+//   incremental           dirty-only checkpoints (default false)
+//   mtbf_per_node_s       0 disables failures (default 0)
+//   repair_s              node repair time (default 1800)
+//   predicted_fraction    share of faults announced early (default 0)
+//   prediction_lead_s     warning lead time (default 120)
+//   proactive             evacuate on predictions (default false)
+//   migrate_at_s          [migrate] when to move the VC (default 60)
+//   live                  [migrate] pre-copy instead of LSC (default true)
+//   trace                 echo the machine room's event log (default true)
+//
+// Sample scenarios live in scenarios/.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "app/workload.hpp"
+#include "ckpt/interval.hpp"
+#include "ckpt/lsc.hpp"
+#include "core/machine_room.hpp"
+#include "tools/scenario_config.hpp"
+
+using namespace dvc;  // NOLINT — CLI brevity
+
+namespace {
+
+struct Scenario {
+  tools::ScenarioConfig cfg;
+  core::MachineRoom room;
+  core::VirtualCluster* vc = nullptr;
+  std::unique_ptr<app::ParallelApp> application;
+  std::unique_ptr<ckpt::NtpLscCoordinator> lsc;
+  std::uint64_t seed = 42;
+};
+
+core::MachineRoomOptions room_options(const tools::ScenarioConfig& cfg) {
+  core::MachineRoomOptions o;
+  o.clusters = static_cast<std::uint32_t>(cfg.get_int("clusters", 1));
+  o.nodes_per_cluster =
+      static_cast<std::uint32_t>(cfg.get_int("nodes_per_cluster", 32));
+  o.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const double write_mbps = cfg.get_double("store_write_mbps", 100.0);
+  o.store.write_bps = write_mbps * 1e6;
+  o.store.read_bps = 2 * write_mbps * 1e6;
+  return o;
+}
+
+std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
+  auto sc = std::unique_ptr<Scenario>(new Scenario{
+      cfg, core::MachineRoom(room_options(cfg)), nullptr, nullptr, nullptr,
+      static_cast<std::uint64_t>(cfg.get_int("seed", 42))});
+  if (cfg.get_bool("trace", true)) {
+    sc->room.trace.set_echo(true);
+    sc->room.trace.set_min_level(sim::TraceLevel::kInfo);
+  }
+
+  const auto vc_size =
+      static_cast<std::uint32_t>(cfg.get_int("vc_size", 16));
+  core::VcSpec spec;
+  spec.name = "dvcsim";
+  spec.size = vc_size;
+  spec.guest.ram_bytes =
+      static_cast<std::uint64_t>(cfg.get_int("guest_ram_mib", 256)) << 20;
+  const auto placement = sc->room.dvc->pick_nodes(vc_size);
+  if (!placement) {
+    throw std::runtime_error("not enough nodes for vc_size=" +
+                             std::to_string(vc_size));
+  }
+  sc->vc = &sc->room.dvc->create_vc(spec, *placement, {});
+  sc->room.sim.run_until(20 * sim::kSecond);
+
+  const std::string kind = cfg.get_string("workload", "ptrans");
+  const auto iterations =
+      static_cast<std::uint32_t>(cfg.get_int("iterations", 1000));
+  const double iter_s = cfg.get_double("iter_seconds", 0.5);
+  app::WorkloadSpec workload =
+      kind == "hpl" ? app::make_hpl(16384, vc_size, iterations)
+                    : app::make_ptrans(4096, vc_size, iterations);
+  workload.flops_per_rank_iter = iter_s * 1e10;
+  workload.bytes_per_msg = 64 << 10;
+  sc->application = std::make_unique<app::ParallelApp>(
+      sc->room.sim, sc->room.fabric.network(), sc->vc->contexts(),
+      workload);
+  sc->room.dvc->attach_app(*sc->vc, *sc->application);
+  sc->application->start();
+
+  sc->lsc = std::make_unique<ckpt::NtpLscCoordinator>(
+      sc->room.sim, ckpt::NtpLscCoordinator::Config{},
+      sim::Rng(sc->seed ^ 0xD5C));
+  return sc;
+}
+
+void arm_failures(Scenario& sc) {
+  const double mtbf_s = sc.cfg.get_double("mtbf_per_node_s", 0.0);
+  if (mtbf_s <= 0.0) return;
+  const double repair_s = sc.cfg.get_double("repair_s", 1800.0);
+  sc.room.fabric.subscribe_failures([&sc, repair_s](hw::NodeId n) {
+    sc.room.sim.schedule_after(sim::from_seconds(repair_s), [&sc, n] {
+      sc.room.fabric.repair_node(n);
+    });
+  });
+  sc.room.fabric.arm_random_failures(
+      sim::from_seconds(mtbf_s),
+      sc.cfg.get_double("predicted_fraction", 0.0),
+      sim::from_seconds(sc.cfg.get_double("prediction_lead_s", 120.0)));
+}
+
+void print_summary(Scenario& sc) {
+  const app::JobStats st = sc.application->stats();
+  std::printf("\n==== dvcsim summary ====\n");
+  std::printf("completed:       %s\n",
+              sc.application->completed() ? "yes" : "no (open-ended run)");
+  if (sc.application->completed()) {
+    std::printf("wall time:       %.0f s\n", st.makespan_s);
+  } else {
+    std::printf("simulated time:  %.0f s\n",
+                sim::to_seconds(sc.room.sim.now()));
+  }
+  std::printf("compute done:    %.0f s/rank (incl. redone)\n",
+              st.compute_done_s);
+  std::printf("messages:        %llu (%llu retransmitted, %llu dups)\n",
+              static_cast<unsigned long long>(st.messages),
+              static_cast<unsigned long long>(st.retransmissions),
+              static_cast<unsigned long long>(st.duplicates));
+  std::printf("node failures:   %llu (%llu predicted)\n",
+              static_cast<unsigned long long>(
+                  sc.room.fabric.failures_injected()),
+              static_cast<unsigned long long>(
+                  sc.room.fabric.failures_predicted()));
+  std::printf("checkpoints:     %llu\n",
+              static_cast<unsigned long long>(
+                  sc.room.dvc->checkpoints_taken()));
+  std::printf("recoveries:      %llu   evacuations: %llu   migrations:"
+              " %llu (+%llu live)\n",
+              static_cast<unsigned long long>(
+                  sc.room.dvc->recoveries_performed()),
+              static_cast<unsigned long long>(
+                  sc.room.dvc->evacuations_performed()),
+              static_cast<unsigned long long>(
+                  sc.room.dvc->migrations_performed()),
+              static_cast<unsigned long long>(
+                  sc.room.dvc->live_migrations_performed()));
+}
+
+int run_reliability(Scenario& sc) {
+  core::DvcManager::RecoveryPolicy policy;
+  policy.coordinator = sc.lsc.get();
+  policy.interval = sim::from_seconds(
+      sc.cfg.get_double("checkpoint_interval_s", 300.0));
+  policy.incremental = sc.cfg.get_bool("incremental", false);
+  policy.proactive_migration = sc.cfg.get_bool("proactive", false);
+  sc.room.dvc->enable_auto_recovery(*sc.vc, policy);
+  arm_failures(sc);
+
+  while (!sc.application->completed() &&
+         sc.room.sim.now() < 100 * sim::kHour) {
+    sc.room.sim.run_until(sc.room.sim.now() + 10 * sim::kSecond);
+  }
+  print_summary(sc);
+  return sc.application->completed() ? 0 : 1;
+}
+
+int run_checkpoint(Scenario& sc) {
+  // One coordinated checkpoint, then a whole-cluster restore: the T2
+  // experiment as a scenario.
+  std::optional<ckpt::LscResult> result;
+  sc.room.sim.schedule_after(5 * sim::kSecond, [&] {
+    sc.room.dvc->checkpoint_vc(*sc.vc, *sc.lsc,
+                               [&](ckpt::LscResult r) { result = r; });
+  });
+  while (!result.has_value()) {
+    sc.room.sim.run_until(sc.room.sim.now() + sim::kSecond);
+  }
+  std::printf("checkpoint %s: skew %.2f ms, %.1f s total\n",
+              result->ok ? "sealed" : "FAILED",
+              sim::to_milliseconds(result->pause_skew),
+              sim::to_seconds(result->total_time));
+  bool restored = false;
+  sc.room.dvc->restore_vc(*sc.vc, sc.vc->placements(),
+                          [&](bool ok) { restored = ok; });
+  sc.room.sim.run_until(sc.room.sim.now() + 120 * sim::kSecond);
+  std::printf("restore: %s\n", restored ? "ok" : "FAILED");
+  sc.room.sim.run_until(sc.room.sim.now() + 60 * sim::kSecond);
+  print_summary(sc);
+  return (result->ok && restored && !sc.application->failed()) ? 0 : 1;
+}
+
+int run_migrate(Scenario& sc) {
+  const double at_s = sc.cfg.get_double("migrate_at_s", 60.0);
+  const bool live = sc.cfg.get_bool("live", true);
+  const auto size = sc.vc->size();
+  bool done = false;
+  bool ok = false;
+  sc.room.sim.run_until(sim::from_seconds(at_s));
+  const auto target = sc.room.dvc->pick_nodes(size);
+  if (!target) {
+    std::printf("no target nodes free for migration\n");
+    return 1;
+  }
+  if (live) {
+    sc.room.dvc->live_migrate_vc(
+        *sc.vc, *target, {},
+        [&](core::DvcManager::LiveMigrationStats s) {
+          done = true;
+          ok = s.ok;
+          std::printf("live migration: downtime %.2f s, %.1f s total, "
+                      "%.2f GiB moved\n",
+                      sim::to_seconds(s.max_downtime),
+                      sim::to_seconds(s.total_time),
+                      s.bytes_moved / (1ull << 30));
+        });
+  } else {
+    sc.room.dvc->migrate_vc(*sc.vc, *sc.lsc, *target, [&](bool r) {
+      done = true;
+      ok = r;
+    });
+  }
+  while (!done && sc.room.sim.now() < 2 * sim::kHour) {
+    sc.room.sim.run_until(sc.room.sim.now() + sim::kSecond);
+  }
+  sc.room.sim.run_until(sc.room.sim.now() + 60 * sim::kSecond);
+  print_summary(sc);
+  return (ok && !sc.application->failed()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario-file>\n", argv[0]);
+    return 2;
+  }
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open scenario file: %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  try {
+    const tools::ScenarioConfig cfg =
+        tools::ScenarioConfig::parse(text.str());
+    auto sc = build(cfg);
+    const std::string experiment =
+        cfg.get_string("experiment", "reliability");
+    if (experiment == "reliability") return run_reliability(*sc);
+    if (experiment == "checkpoint") return run_checkpoint(*sc);
+    if (experiment == "migrate") return run_migrate(*sc);
+    std::fprintf(stderr, "unknown experiment: %s\n", experiment.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dvcsim: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dvc::tools {
+
+/// Parser for dvcsim scenario files: one `key = value` per line, `#`
+/// comments, blank lines ignored. Values are strings; typed getters
+/// convert on demand and throw with the offending key on bad input.
+class ScenarioConfig final {
+ public:
+  /// Parses scenario text (the CLI reads the file and hands it in).
+  static ScenarioConfig parse(const std::string& text) {
+    ScenarioConfig cfg;
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      const std::string trimmed = trim(line);
+      if (trimmed.empty()) continue;
+      const auto eq = trimmed.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("scenario line " +
+                                    std::to_string(line_no) +
+                                    ": expected key = value");
+      }
+      const std::string key = trim(trimmed.substr(0, eq));
+      const std::string value = trim(trimmed.substr(eq + 1));
+      if (key.empty()) {
+        throw std::invalid_argument("scenario line " +
+                                    std::to_string(line_no) + ": empty key");
+      }
+      cfg.values_[key] = value;
+    }
+    return cfg;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const std::int64_t v = std::stoll(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument("trailing");
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("scenario key '" + key +
+                                  "': not an integer: " + it->second);
+    }
+  }
+
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument("trailing");
+      return v;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("scenario key '" + key +
+                                  "': not a number: " + it->second);
+    }
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+    if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+    throw std::invalid_argument("scenario key '" + key +
+                                "': not a boolean: " + v);
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries()
+      const noexcept {
+    return values_;
+  }
+
+ private:
+  [[nodiscard]] static std::string trim(const std::string& s) {
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+  }
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dvc::tools
