@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl10_interval.dir/abl10_interval.cpp.o"
+  "CMakeFiles/abl10_interval.dir/abl10_interval.cpp.o.d"
+  "abl10_interval"
+  "abl10_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl10_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

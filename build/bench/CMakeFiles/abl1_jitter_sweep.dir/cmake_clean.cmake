@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_jitter_sweep.dir/abl1_jitter_sweep.cpp.o"
+  "CMakeFiles/abl1_jitter_sweep.dir/abl1_jitter_sweep.cpp.o.d"
+  "abl1_jitter_sweep"
+  "abl1_jitter_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_jitter_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_storage_contention.dir/abl2_storage_contention.cpp.o"
+  "CMakeFiles/abl2_storage_contention.dir/abl2_storage_contention.cpp.o.d"
+  "abl2_storage_contention"
+  "abl2_storage_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_storage_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

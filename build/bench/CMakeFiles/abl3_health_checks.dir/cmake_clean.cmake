@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_health_checks.dir/abl3_health_checks.cpp.o"
+  "CMakeFiles/abl3_health_checks.dir/abl3_health_checks.cpp.o.d"
+  "abl3_health_checks"
+  "abl3_health_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_health_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

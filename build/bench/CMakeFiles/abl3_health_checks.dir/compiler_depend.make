@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl3_health_checks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_timeout_sweep.dir/abl4_timeout_sweep.cpp.o"
+  "CMakeFiles/abl4_timeout_sweep.dir/abl4_timeout_sweep.cpp.o.d"
+  "abl4_timeout_sweep"
+  "abl4_timeout_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_timeout_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

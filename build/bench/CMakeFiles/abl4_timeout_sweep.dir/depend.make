@@ -1,0 +1,2 @@
+# Empty dependencies file for abl4_timeout_sweep.
+# This may be replaced when dependencies are built.

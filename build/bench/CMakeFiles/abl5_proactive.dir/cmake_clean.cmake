@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_proactive.dir/abl5_proactive.cpp.o"
+  "CMakeFiles/abl5_proactive.dir/abl5_proactive.cpp.o.d"
+  "abl5_proactive"
+  "abl5_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

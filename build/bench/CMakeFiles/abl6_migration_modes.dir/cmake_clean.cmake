@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_migration_modes.dir/abl6_migration_modes.cpp.o"
+  "CMakeFiles/abl6_migration_modes.dir/abl6_migration_modes.cpp.o.d"
+  "abl6_migration_modes"
+  "abl6_migration_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_migration_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

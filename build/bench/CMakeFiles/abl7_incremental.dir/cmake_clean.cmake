@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_incremental.dir/abl7_incremental.cpp.o"
+  "CMakeFiles/abl7_incremental.dir/abl7_incremental.cpp.o.d"
+  "abl7_incremental"
+  "abl7_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_collectives.dir/abl8_collectives.cpp.o"
+  "CMakeFiles/abl8_collectives.dir/abl8_collectives.cpp.o.d"
+  "abl8_collectives"
+  "abl8_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl9_cocheck.dir/abl9_cocheck.cpp.o"
+  "CMakeFiles/abl9_cocheck.dir/abl9_cocheck.cpp.o.d"
+  "abl9_cocheck"
+  "abl9_cocheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl9_cocheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

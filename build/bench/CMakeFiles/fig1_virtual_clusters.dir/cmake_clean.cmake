@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_virtual_clusters.dir/fig1_virtual_clusters.cpp.o"
+  "CMakeFiles/fig1_virtual_clusters.dir/fig1_virtual_clusters.cpp.o.d"
+  "fig1_virtual_clusters"
+  "fig1_virtual_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_virtual_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_network_cuts.dir/fig2_network_cuts.cpp.o"
+  "CMakeFiles/fig2_network_cuts.dir/fig2_network_cuts.cpp.o.d"
+  "fig2_network_cuts"
+  "fig2_network_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_network_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

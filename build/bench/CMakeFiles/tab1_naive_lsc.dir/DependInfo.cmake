@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab1_naive_lsc.cpp" "bench/CMakeFiles/tab1_naive_lsc.dir/tab1_naive_lsc.cpp.o" "gcc" "bench/CMakeFiles/tab1_naive_lsc.dir/tab1_naive_lsc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/dvc_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/dvc_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/dvc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dvc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dvc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/dvc_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

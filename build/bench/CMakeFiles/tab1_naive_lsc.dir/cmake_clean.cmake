@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_naive_lsc.dir/tab1_naive_lsc.cpp.o"
+  "CMakeFiles/tab1_naive_lsc.dir/tab1_naive_lsc.cpp.o.d"
+  "tab1_naive_lsc"
+  "tab1_naive_lsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_naive_lsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

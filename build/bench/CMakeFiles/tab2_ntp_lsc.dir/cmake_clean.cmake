@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_ntp_lsc.dir/tab2_ntp_lsc.cpp.o"
+  "CMakeFiles/tab2_ntp_lsc.dir/tab2_ntp_lsc.cpp.o.d"
+  "tab2_ntp_lsc"
+  "tab2_ntp_lsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_ntp_lsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

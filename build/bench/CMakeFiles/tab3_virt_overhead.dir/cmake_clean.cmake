@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_virt_overhead.dir/tab3_virt_overhead.cpp.o"
+  "CMakeFiles/tab3_virt_overhead.dir/tab3_virt_overhead.cpp.o.d"
+  "tab3_virt_overhead"
+  "tab3_virt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_virt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

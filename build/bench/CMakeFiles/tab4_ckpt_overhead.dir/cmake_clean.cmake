@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_ckpt_overhead.dir/tab4_ckpt_overhead.cpp.o"
+  "CMakeFiles/tab4_ckpt_overhead.dir/tab4_ckpt_overhead.cpp.o.d"
+  "tab4_ckpt_overhead"
+  "tab4_ckpt_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_ckpt_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

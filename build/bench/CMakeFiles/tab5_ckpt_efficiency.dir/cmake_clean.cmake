@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_ckpt_efficiency.dir/tab5_ckpt_efficiency.cpp.o"
+  "CMakeFiles/tab5_ckpt_efficiency.dir/tab5_ckpt_efficiency.cpp.o.d"
+  "tab5_ckpt_efficiency"
+  "tab5_ckpt_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_ckpt_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_walltime_jump.dir/tab6_walltime_jump.cpp.o"
+  "CMakeFiles/tab6_walltime_jump.dir/tab6_walltime_jump.cpp.o.d"
+  "tab6_walltime_jump"
+  "tab6_walltime_jump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_walltime_jump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

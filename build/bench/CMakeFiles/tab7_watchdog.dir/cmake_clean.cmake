@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab7_watchdog.dir/tab7_watchdog.cpp.o"
+  "CMakeFiles/tab7_watchdog.dir/tab7_watchdog.cpp.o.d"
+  "tab7_watchdog"
+  "tab7_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab7_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

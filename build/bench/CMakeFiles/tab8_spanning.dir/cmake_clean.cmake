@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab8_spanning.dir/tab8_spanning.cpp.o"
+  "CMakeFiles/tab8_spanning.dir/tab8_spanning.cpp.o.d"
+  "tab8_spanning"
+  "tab8_spanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab8_spanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

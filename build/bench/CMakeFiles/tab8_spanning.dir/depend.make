@@ -1,0 +1,2 @@
+# Empty dependencies file for tab8_spanning.
+# This may be replaced when dependencies are built.

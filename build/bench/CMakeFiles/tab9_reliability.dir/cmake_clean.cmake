@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab9_reliability.dir/tab9_reliability.cpp.o"
+  "CMakeFiles/tab9_reliability.dir/tab9_reliability.cpp.o.d"
+  "tab9_reliability"
+  "tab9_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab9_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_hpl.dir/fault_tolerant_hpl.cpp.o"
+  "CMakeFiles/fault_tolerant_hpl.dir/fault_tolerant_hpl.cpp.o.d"
+  "fault_tolerant_hpl"
+  "fault_tolerant_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

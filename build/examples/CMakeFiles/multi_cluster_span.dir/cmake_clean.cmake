@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cluster_span.dir/multi_cluster_span.cpp.o"
+  "CMakeFiles/multi_cluster_span.dir/multi_cluster_span.cpp.o.d"
+  "multi_cluster_span"
+  "multi_cluster_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cluster_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

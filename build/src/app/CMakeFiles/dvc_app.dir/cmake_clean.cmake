@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_app.dir/mpi_job.cpp.o"
+  "CMakeFiles/dvc_app.dir/mpi_job.cpp.o.d"
+  "CMakeFiles/dvc_app.dir/workload.cpp.o"
+  "CMakeFiles/dvc_app.dir/workload.cpp.o.d"
+  "libdvc_app.a"
+  "libdvc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

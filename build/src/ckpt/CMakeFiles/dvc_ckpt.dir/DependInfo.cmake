@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/cocheck.cpp" "src/ckpt/CMakeFiles/dvc_ckpt.dir/cocheck.cpp.o" "gcc" "src/ckpt/CMakeFiles/dvc_ckpt.dir/cocheck.cpp.o.d"
+  "/root/repo/src/ckpt/lsc.cpp" "src/ckpt/CMakeFiles/dvc_ckpt.dir/lsc.cpp.o" "gcc" "src/ckpt/CMakeFiles/dvc_ckpt.dir/lsc.cpp.o.d"
+  "/root/repo/src/ckpt/methods.cpp" "src/ckpt/CMakeFiles/dvc_ckpt.dir/methods.cpp.o" "gcc" "src/ckpt/CMakeFiles/dvc_ckpt.dir/methods.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dvc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dvc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/dvc_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/dvc_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_ckpt.dir/cocheck.cpp.o"
+  "CMakeFiles/dvc_ckpt.dir/cocheck.cpp.o.d"
+  "CMakeFiles/dvc_ckpt.dir/lsc.cpp.o"
+  "CMakeFiles/dvc_ckpt.dir/lsc.cpp.o.d"
+  "CMakeFiles/dvc_ckpt.dir/methods.cpp.o"
+  "CMakeFiles/dvc_ckpt.dir/methods.cpp.o.d"
+  "libdvc_ckpt.a"
+  "libdvc_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_clocksync.dir/ntp.cpp.o"
+  "CMakeFiles/dvc_clocksync.dir/ntp.cpp.o.d"
+  "libdvc_clocksync.a"
+  "libdvc_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

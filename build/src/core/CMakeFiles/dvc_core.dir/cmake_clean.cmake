@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_core.dir/dvc_manager.cpp.o"
+  "CMakeFiles/dvc_core.dir/dvc_manager.cpp.o.d"
+  "CMakeFiles/dvc_core.dir/job_runner.cpp.o"
+  "CMakeFiles/dvc_core.dir/job_runner.cpp.o.d"
+  "CMakeFiles/dvc_core.dir/virtual_cluster.cpp.o"
+  "CMakeFiles/dvc_core.dir/virtual_cluster.cpp.o.d"
+  "libdvc_core.a"
+  "libdvc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_hw.dir/cluster.cpp.o"
+  "CMakeFiles/dvc_hw.dir/cluster.cpp.o.d"
+  "libdvc_hw.a"
+  "libdvc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

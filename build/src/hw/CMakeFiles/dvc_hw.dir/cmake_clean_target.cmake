@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvc_hw.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_net.dir/network.cpp.o"
+  "CMakeFiles/dvc_net.dir/network.cpp.o.d"
+  "CMakeFiles/dvc_net.dir/reliable_channel.cpp.o"
+  "CMakeFiles/dvc_net.dir/reliable_channel.cpp.o.d"
+  "libdvc_net.a"
+  "libdvc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

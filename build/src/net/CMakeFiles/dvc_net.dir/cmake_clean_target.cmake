@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvc_net.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/scheduler.cpp" "src/rm/CMakeFiles/dvc_rm.dir/scheduler.cpp.o" "gcc" "src/rm/CMakeFiles/dvc_rm.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dvc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

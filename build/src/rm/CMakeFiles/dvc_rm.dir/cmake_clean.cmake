@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_rm.dir/scheduler.cpp.o"
+  "CMakeFiles/dvc_rm.dir/scheduler.cpp.o.d"
+  "libdvc_rm.a"
+  "libdvc_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

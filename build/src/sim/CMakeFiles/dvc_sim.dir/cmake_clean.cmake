@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dvc_sim.dir/simulation.cpp.o.d"
+  "libdvc_sim.a"
+  "libdvc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

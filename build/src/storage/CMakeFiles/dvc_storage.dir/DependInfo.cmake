@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bandwidth_pool.cpp" "src/storage/CMakeFiles/dvc_storage.dir/bandwidth_pool.cpp.o" "gcc" "src/storage/CMakeFiles/dvc_storage.dir/bandwidth_pool.cpp.o.d"
+  "/root/repo/src/storage/image_manager.cpp" "src/storage/CMakeFiles/dvc_storage.dir/image_manager.cpp.o" "gcc" "src/storage/CMakeFiles/dvc_storage.dir/image_manager.cpp.o.d"
+  "/root/repo/src/storage/shared_store.cpp" "src/storage/CMakeFiles/dvc_storage.dir/shared_store.cpp.o" "gcc" "src/storage/CMakeFiles/dvc_storage.dir/shared_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_storage.dir/bandwidth_pool.cpp.o"
+  "CMakeFiles/dvc_storage.dir/bandwidth_pool.cpp.o.d"
+  "CMakeFiles/dvc_storage.dir/image_manager.cpp.o"
+  "CMakeFiles/dvc_storage.dir/image_manager.cpp.o.d"
+  "CMakeFiles/dvc_storage.dir/shared_store.cpp.o"
+  "CMakeFiles/dvc_storage.dir/shared_store.cpp.o.d"
+  "libdvc_storage.a"
+  "libdvc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/hypervisor.cpp" "src/vm/CMakeFiles/dvc_vm.dir/hypervisor.cpp.o" "gcc" "src/vm/CMakeFiles/dvc_vm.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/vm/virtual_machine.cpp" "src/vm/CMakeFiles/dvc_vm.dir/virtual_machine.cpp.o" "gcc" "src/vm/CMakeFiles/dvc_vm.dir/virtual_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dvc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvc_vm.dir/hypervisor.cpp.o"
+  "CMakeFiles/dvc_vm.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/dvc_vm.dir/virtual_machine.cpp.o"
+  "CMakeFiles/dvc_vm.dir/virtual_machine.cpp.o.d"
+  "libdvc_vm.a"
+  "libdvc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app_test.cpp" "tests/CMakeFiles/dvc_tests.dir/app_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/app_test.cpp.o.d"
+  "/root/repo/tests/ckpt_test.cpp" "tests/CMakeFiles/dvc_tests.dir/ckpt_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/ckpt_test.cpp.o.d"
+  "/root/repo/tests/clocksync_test.cpp" "tests/CMakeFiles/dvc_tests.dir/clocksync_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/clocksync_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/dvc_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/guest_os_test.cpp" "tests/CMakeFiles/dvc_tests.dir/guest_os_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/guest_os_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/dvc_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/dvc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/dvc_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/reliable_channel_test.cpp" "tests/CMakeFiles/dvc_tests.dir/reliable_channel_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/reliable_channel_test.cpp.o.d"
+  "/root/repo/tests/scenario_config_test.cpp" "tests/CMakeFiles/dvc_tests.dir/scenario_config_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/scenario_config_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/dvc_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/dvc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/dvc_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/dvc_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/dvc_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/dvc_tests.dir/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dvc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/dvc_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/dvc_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/dvc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dvc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dvc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dvc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocksync/CMakeFiles/dvc_clocksync.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

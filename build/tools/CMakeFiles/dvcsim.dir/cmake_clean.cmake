@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvcsim.dir/dvcsim.cpp.o"
+  "CMakeFiles/dvcsim.dir/dvcsim.cpp.o.d"
+  "dvcsim"
+  "dvcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dvcsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dvcsim_checkpoint_scenario "/root/repo/build/tools/dvcsim" "/root/repo/scenarios/checkpoint26.scn")
+set_tests_properties(dvcsim_checkpoint_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dvcsim_live_migrate_scenario "/root/repo/build/tools/dvcsim" "/root/repo/scenarios/live_migrate.scn")
+set_tests_properties(dvcsim_live_migrate_scenario PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
