@@ -51,6 +51,7 @@ void run_trial(const Config& cfg, int trial, Tally& tally) {
                 calibrated_transport());
 
   ckpt::NtpLscCoordinator lsc(sc.room.sim, {}, sim::Rng(seed ^ 0x5A5A));
+  lsc.set_metrics(&sc.room.metrics);
   std::optional<ckpt::LscResult> result;
   // "multiple problem sizes ... with varying times between checkpoints":
   // stagger the checkpoint instant across trials.
@@ -72,13 +73,22 @@ void run_trial(const Config& cfg, int trial, Tally& tally) {
   }
 
   ++tally.trials;
-  const bool save_ok = result.has_value() && result->ok &&
-                       !sc.application->failed();
+  // Headline numbers come from the per-trial metrics registry: one
+  // successful round leaves `ckpt.lsc.rounds` == 1 and a single
+  // observation in each of the round histograms.
+  const telemetry::MetricsRegistry& m = sc.room.metrics;
+  const bool round_ok = m.counter_value("ckpt.lsc.rounds") > 0 &&
+                        m.counter_value("ckpt.lsc.rounds_failed") == 0;
+  const bool save_ok = round_ok && !sc.application->failed();
   tally.save_ok += save_ok ? 1 : 0;
   tally.app_failures += sc.application->failed() ? 1 : 0;
-  if (result.has_value() && result->ok) {
-    tally.skew_ms.add(sim::to_milliseconds(result->pause_skew));
-    tally.save_s.add(sim::to_seconds(result->total_time));
+  if (round_ok) {
+    if (const auto* skew = m.find_histogram("ckpt.lsc.pause_skew_s")) {
+      tally.skew_ms.add(skew->summary().mean() * 1e3);
+    }
+    if (const auto* round = m.find_histogram("ckpt.lsc.round_s")) {
+      tally.save_s.add(round->summary().mean());
+    }
   }
 
   // Every fifth trial additionally restores the whole cluster from the
@@ -86,15 +96,16 @@ void run_trial(const Config& cfg, int trial, Tally& tally) {
   // verifies the application resumes and progresses.
   if (save_ok && trial % 5 == 0) {
     ++tally.restore_attempts;
-    bool restored = false;
-    sc.room.dvc->restore_vc(*sc.vc, sc.vc->placements(),
-                            [&](bool ok) { restored = ok; });
+    sc.room.dvc->restore_vc(*sc.vc, sc.vc->placements(), [](bool) {});
     const auto iter_before = sc.application->rank(0).state().iter;
     sc.room.sim.run_until(sc.room.sim.now() + 60 * sim::kSecond);
     const bool progressed =
         sc.application->rank(0).state().iter > iter_before ||
         sc.application->completed();
-    if (restored && progressed && !sc.application->failed()) {
+    // The control plane counts a successful whole-VC restore into
+    // `core.dvc.restores` (failures land in `core.dvc.restore_failures`).
+    if (m.counter_value("core.dvc.restores") > 0 && progressed &&
+        !sc.application->failed()) {
       ++tally.restore_ok;
     }
   }

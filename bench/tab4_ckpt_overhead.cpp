@@ -30,46 +30,46 @@ RunResult run(std::uint64_t n, sim::Duration interval, std::uint64_t seed) {
   VcScenario sc(paper_substrate(32, seed), /*guest_ram=*/512ull << 20,
                 app::make_hpl(n, kRanks, /*iterations=*/64));
   ckpt::NtpLscCoordinator lsc(sc.room.sim, {}, sim::Rng(seed ^ 0xC4));
+  lsc.set_metrics(&sc.room.metrics);
 
   RunResult out;
-  sim::SummaryStats save_times;
   if (interval > 0) {
     core::DvcManager::RecoveryPolicy policy;
     policy.coordinator = &lsc;
     policy.interval = interval;
     sc.room.dvc->enable_auto_recovery(*sc.vc, policy);
   }
-  // Track checkpoint costs by watching the manager's counter move.
-  std::uint64_t seen = 0;
   const sim::Time started = sc.room.sim.now();
   while (!sc.application->completed() &&
          sc.room.sim.now() - started < 4 * sim::kHour) {
     sc.room.sim.run_until(sc.room.sim.now() + 5 * sim::kSecond);
-    if (sc.room.dvc->checkpoints_taken() > seen) {
-      seen = sc.room.dvc->checkpoints_taken();
-      // The store records every image write; the per-checkpoint cost is
-      // dominated by streaming 26 guests through the shared store.
+  }
+  // Headline numbers come from the room-wide metrics registry: the control
+  // plane counts every coordinated checkpoint into `core.dvc.checkpoints`,
+  // and the store observes each image write into `storage.store.write_s`
+  // (the per-checkpoint cost is dominated by streaming kRanks guests
+  // through the contended shared store).
+  const telemetry::MetricsRegistry& m = sc.room.metrics;
+  out.makespan_s = sc.application->stats().makespan_s;
+  out.checkpoints = static_cast<int>(m.counter_value("core.dvc.checkpoints"));
+  if (out.checkpoints > 0) {
+    if (const auto* w = m.find_histogram("storage.store.write_s")) {
+      out.mean_save_s = w->summary().mean();
     }
   }
-  out.makespan_s = sc.application->stats().makespan_s;
-  out.checkpoints = static_cast<int>(sc.room.dvc->checkpoints_taken());
-  // Mean wall time of one coordinated save, from the store's write stats:
-  // each checkpoint wrote kRanks images; their mean completion ~ the
-  // contended streaming time.
-  if (out.checkpoints > 0) {
-    out.mean_save_s = sc.room.store.write_time_stats().mean();
-  }
 
-  // One whole-cluster restore from the last checkpoint, timed.
+  // One whole-cluster restore from the last checkpoint; the manager times
+  // it into the `core.dvc.restore_s` histogram.
   if (interval > 0 && sc.vc->has_checkpoint()) {
-    const sim::Time t0 = sc.room.sim.now();
     std::optional<bool> restored;
     sc.room.dvc->restore_vc(*sc.vc, sc.vc->placements(),
                             [&](bool ok) { restored = ok; });
     while (!restored.has_value()) {
       sc.room.sim.run_until(sc.room.sim.now() + sim::kSecond);
     }
-    out.restore_s = sim::to_seconds(sc.room.sim.now() - t0);
+    if (const auto* r = m.find_histogram("core.dvc.restore_s")) {
+      out.restore_s = r->summary().mean();
+    }
   }
   return out;
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the DVC simulator.
+#
+#   ./ci.sh             configure, build, and run the full test suite
+#   ./ci.sh --sanitize  same, under AddressSanitizer + UBSan (separate
+#                       build tree, slower; catches lifetime/UB bugs the
+#                       plain build cannot)
+#
+# Both modes exit non-zero on any build or test failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+build_and_test() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+case "${1:-}" in
+  --sanitize)
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+    build_and_test build-asan \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+      -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+    ;;
+  "")
+    build_and_test build
+    ;;
+  *)
+    echo "usage: $0 [--sanitize]" >&2
+    exit 2
+    ;;
+esac

@@ -14,17 +14,20 @@ RoundTracker::RoundTracker(sim::Simulation& sim,
                            std::vector<SaveTarget> targets,
                            storage::ImageManager& images, std::string label,
                            std::function<void(LscResult)> done,
-                           int attempt_no, bool resume_after_save)
+                           int attempt_no, bool resume_after_save,
+                           telemetry::MetricsRegistry* metrics)
     : sim_(&sim),
       targets_(std::move(targets)),
       images_(&images),
       set_(images.open_set(std::move(label), targets_.size())),
       done_(std::move(done)),
       outstanding_(targets_.size()),
-      resume_after_save_(resume_after_save) {
+      resume_after_save_(resume_after_save),
+      metrics_(metrics) {
   result_.set = set_;
   result_.attempts = attempt_no;
   result_.app_snapshots.resize(targets_.size());
+  round_span_ = telemetry::begin_span(metrics_, sim_->now(), "lsc", "round");
 }
 
 void RoundTracker::fire(std::size_t i) {
@@ -56,8 +59,10 @@ void RoundTracker::on_member_durable(std::size_t i, bool ok,
       // Stop-and-copy: the guest thaws the moment its image is durable.
       t.hypervisor->resume_domain(*t.machine);
     }
+    telemetry::count(metrics_, "ckpt.lsc.members_saved");
   } else {
     any_failed_ = true;
+    telemetry::count(metrics_, "ckpt.lsc.members_failed");
   }
   if (--outstanding_ == 0) finish();
 }
@@ -71,6 +76,21 @@ void RoundTracker::finish() {
     result_.pause_skew = last_pause_ - first_pause_;
     result_.total_time = sim_->now() - first_pause_;
   }
+  telemetry::count(metrics_,
+                   result_.ok ? "ckpt.lsc.rounds" : "ckpt.lsc.rounds_failed");
+  if (saw_pause_ && metrics_ != nullptr) {
+    metrics_->histogram("ckpt.lsc.pause_skew_s")
+        .observe(sim::to_seconds(result_.pause_skew));
+    metrics_->histogram("ckpt.lsc.round_s")
+        .observe(sim::to_seconds(result_.total_time));
+    // Retrospective span of the freeze window: the first guest froze at
+    // first_pause_, the last at last_pause_ — the skew the transport must
+    // mask (visible at a glance on the trace).
+    const auto freeze =
+        metrics_->begin_span(first_pause_, "lsc", "freeze_window");
+    metrics_->end_span(freeze, last_pause_);
+  }
+  telemetry::end_span(metrics_, round_span_, sim_->now());
   if (done_) done_(result_);
 }
 
@@ -85,7 +105,7 @@ void NaiveLscCoordinator::checkpoint(std::string label,
   if (targets.empty()) throw std::invalid_argument("no targets");
   auto round = std::make_shared<RoundTracker>(
       *sim_, std::move(targets), images, std::move(label), std::move(done),
-      /*attempt_no=*/1, resume_after_save);
+      /*attempt_no=*/1, resume_after_save, metrics_);
   // The controlling program writes `vm save` down one terminal after
   // another; each write costs a dispatch delay, so the k-th guest's save
   // command lands ~k dispatch-delays after the first. That cumulative skew
@@ -149,7 +169,11 @@ void NtpLscCoordinator::attempt(std::string label,
       r.aborted_cleanly = true;
       r.attempts = attempt_no;
       sim_->schedule_after(cfg_.lead_time - cfg_.health_check_lead,
-                           [done = std::move(done), r] {
+                           [this, done = std::move(done), r] {
+                             telemetry::count(metrics_,
+                                              "ckpt.lsc.rounds_aborted");
+                             telemetry::instant(metrics_, sim_->now(),
+                                                "lsc", "round_abandoned");
                              if (done) done(r);
                            });
       return;
@@ -159,6 +183,9 @@ void NtpLscCoordinator::attempt(std::string label,
         [this, label = std::move(label), targets = std::move(targets),
          &images, attempt_no, done = std::move(done),
          resume_after_save]() mutable {
+          telemetry::count(metrics_, "ckpt.lsc.health_check_retries");
+          telemetry::instant(metrics_, sim_->now(), "lsc",
+                             "health_check_retry");
           attempt(std::move(label), std::move(targets), images,
                   attempt_no + 1, std::move(done), resume_after_save);
         });
@@ -167,7 +194,7 @@ void NtpLscCoordinator::attempt(std::string label,
 
   auto round = std::make_shared<RoundTracker>(
       *sim_, std::move(targets), images, std::move(label), std::move(done),
-      attempt_no, resume_after_save);
+      attempt_no, resume_after_save, metrics_);
   const std::size_t n = round->targets().size();
   for (std::size_t i = 0; i < n; ++i) {
     const clocksync::HostClock& clock = *round->targets()[i].clock;

@@ -12,6 +12,7 @@
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "storage/image_manager.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/hypervisor.hpp"
 #include "vm/virtual_machine.hpp"
 
@@ -69,6 +70,13 @@ class LscCoordinator {
                           bool resume_after_save = true) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Attaches an optional metrics registry. Rounds appear as spans on the
+  /// "lsc" timeline track; skew and duration land in `ckpt.lsc.*`.
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
+
+ protected:
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// The paper's first prototype (§3.1 "Naive approach"): one program opens a
@@ -172,7 +180,8 @@ class RoundTracker final
   RoundTracker(sim::Simulation& sim, std::vector<SaveTarget> targets,
                storage::ImageManager& images, std::string label,
                std::function<void(LscResult)> done, int attempt_no,
-               bool resume_after_save);
+               bool resume_after_save,
+               telemetry::MetricsRegistry* metrics = nullptr);
 
   /// Issues the save for target `i` now (hypervisor adds local latency).
   void fire(std::size_t i);
@@ -197,6 +206,9 @@ class RoundTracker final
   sim::Time first_pause_ = 0;
   sim::Time last_pause_ = 0;
   bool saw_pause_ = false;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::MetricsRegistry::SpanId round_span_ =
+      telemetry::MetricsRegistry::kInvalidSpan;
 };
 
 }  // namespace dvc::ckpt

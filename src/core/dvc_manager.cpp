@@ -72,6 +72,8 @@ VirtualCluster& DvcManager::create_vc(VcSpec spec,
   sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
              "provisioning vc#" + std::to_string(id) + " (" +
                  std::to_string(placement.size()) + " guests)");
+  telemetry::count(metrics_, "core.dvc.vcs_created");
+  telemetry::instant(metrics_, sim_->now(), "dvc", "provision_vc");
   VcRuntime rt;
   rt.vc = std::make_unique<VirtualCluster>(*sim_, fabric_->network(), id,
                                            std::move(spec));
@@ -142,9 +144,15 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
     can_increment = can_increment && vc.machine(i).has_image_baseline();
   }
   for (auto& t : targets) t.incremental = can_increment;
+  const auto span =
+      telemetry::begin_span(metrics_, sim_->now(), "dvc", "checkpoint");
   lsc.checkpoint(
       vc.checkpoint_label(), std::move(targets), *images_,
-      [this, &vc, can_increment, cb = std::move(done)](ckpt::LscResult r) {
+      [this, &vc, can_increment, span,
+       cb = std::move(done)](ckpt::LscResult r) {
+        telemetry::end_span(metrics_, span, sim_->now());
+        telemetry::count(metrics_, r.ok ? "core.dvc.checkpoints"
+                                        : "core.dvc.checkpoint_failures");
         if (vc.state_ == VcState::kCheckpointing) {
           vc.state_ = VcState::kRunning;
         }
@@ -203,7 +211,10 @@ void DvcManager::restore_vc(VirtualCluster& vc,
   ++vc.instantiations_;
 
   const storage::CheckpointSetId set = vc.last_checkpoint_.set;
-  const auto restore_members = [this, &vc, set,
+  const auto span =
+      telemetry::begin_span(metrics_, sim_->now(), "dvc", "restore");
+  const sim::Time restore_begin = sim_->now();
+  const auto restore_members = [this, &vc, set, span, restore_begin,
                                 done = std::move(done)]() {
     auto remaining = std::make_shared<std::uint32_t>(vc.size());
     auto all_ok = std::make_shared<bool>(true);
@@ -211,11 +222,22 @@ void DvcManager::restore_vc(VirtualCluster& vc,
       fleet_->on_node(vc.placement(i))
           .restore_domain(vc.machine(i), *images_, set, i,
                           vc.last_checkpoint_.app_snapshots.at(i),
-                          [&vc, remaining, all_ok, cb = done](bool ok) {
+                          [this, &vc, remaining, all_ok, span, restore_begin,
+                           cb = done](bool ok) {
                             if (!ok) *all_ok = false;
                             if (--*remaining == 0) {
                               vc.state_ = *all_ok ? VcState::kRunning
                                                   : VcState::kProvisioning;
+                              telemetry::end_span(metrics_, span,
+                                                  sim_->now());
+                              telemetry::count(
+                                  metrics_,
+                                  *all_ok ? "core.dvc.restores"
+                                          : "core.dvc.restore_failures");
+                              telemetry::observe(
+                                  metrics_, "core.dvc.restore_s",
+                                  sim::to_seconds(sim_->now() -
+                                                  restore_begin));
                               if (cb) cb(*all_ok);
                             }
                           });
@@ -235,14 +257,16 @@ void DvcManager::restore_vc(VirtualCluster& vc,
   auto chain_left = std::make_shared<std::size_t>(prior_sets.size());
   auto chain_ok = std::make_shared<bool>(true);
   for (const storage::CheckpointSetId s : prior_sets) {
-    images_->stage_set(s, [&vc, chain_left, chain_ok, restore_members,
-                           done_cb = done](bool ok) {
+    images_->stage_set(s, [this, &vc, chain_left, chain_ok, restore_members,
+                           span, done_cb = done](bool ok) {
       if (!ok) *chain_ok = false;
       if (--*chain_left == 0) {
         if (*chain_ok) {
           restore_members();
         } else {
           vc.state_ = VcState::kProvisioning;
+          telemetry::end_span(metrics_, span, sim_->now());
+          telemetry::count(metrics_, "core.dvc.restore_failures");
           if (done_cb) done_cb(false);
         }
       }
@@ -266,6 +290,7 @@ void DvcManager::migrate_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
         vc.last_checkpoint_ =
             VcCheckpoint{r.set, r.app_snapshots, sim_->now()};
         ++migrations_;
+        telemetry::count(metrics_, "core.dvc.migrations");
         restore_vc(vc, std::move(placement), std::move(cb));
       },
       /*resume_after_save=*/false);
@@ -315,7 +340,12 @@ void DvcManager::live_migrate_vc(
     ms->stats.ok = !ms->any_failed;
     ms->stats.total_time = sim_->now() - ms->started;
     vc.state_ = ms->any_failed ? VcState::kProvisioning : VcState::kRunning;
-    if (ms->stats.ok) ++live_migrations_;
+    if (ms->stats.ok) {
+      ++live_migrations_;
+      telemetry::count(metrics_, "core.dvc.live_migrations");
+      telemetry::observe(metrics_, "core.dvc.live_migrate_downtime_s",
+                         sim::to_seconds(ms->stats.max_downtime));
+    }
     if (ms->done) ms->done(ms->stats);
   };
 
@@ -502,6 +532,7 @@ void DvcManager::on_failure_prediction(hw::NodeId node,
                rit->second.recovery_in_flight = false;
                if (ok) {
                  ++evacuations_;
+                 telemetry::count(metrics_, "core.dvc.evacuations");
                  sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo,
                             "dvc", "vc#" + std::to_string(id) +
                                        " evacuated ahead of the fault");
@@ -582,6 +613,8 @@ void DvcManager::recover(VcRuntime& rt) {
     if (ok) {
       ++recoveries_;
       ++rit->second.vc->recoveries_;
+      telemetry::count(metrics_, "core.dvc.recoveries");
+      telemetry::instant(metrics_, sim_->now(), "dvc", "recovered");
       sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
                  "vc#" + std::to_string(id) + " recovered");
     } else {

@@ -16,6 +16,7 @@
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
 #include "storage/image_manager.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/hypervisor.hpp"
 
 namespace dvc::core {
@@ -175,6 +176,11 @@ class DvcManager final {
   /// Attaches an optional structured trace sink (null to detach).
   void set_trace(sim::TraceLog* log) noexcept { trace_ = log; }
 
+  /// Attaches an optional metrics registry (null to detach). Control-plane
+  /// operations land in `core.dvc.*` counters and on the "dvc" timeline
+  /// track.
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
+
  private:
   struct VcRuntime {
     std::unique_ptr<VirtualCluster> vc;
@@ -206,6 +212,7 @@ class DvcManager final {
   std::uint64_t evacuations_ = 0;
   std::uint64_t live_migrations_ = 0;
   sim::TraceLog* trace_ = nullptr;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dvc::core

@@ -11,6 +11,8 @@
 #include "sim/trace.hpp"
 #include "storage/image_manager.hpp"
 #include "storage/shared_store.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace_bridge.hpp"
 #include "vm/hypervisor.hpp"
 
 namespace dvc::core {
@@ -58,11 +60,23 @@ struct MachineRoom {
     dvc = std::make_unique<DvcManager>(sim, fabric, *fleet, images, *time);
     fabric.set_trace(&trace);
     dvc->set_trace(&trace);
+    // Wire every subsystem into the room-wide metrics registry (each holds
+    // a nullable pointer, so standalone construction stays metrics-free).
+    fabric.network().set_metrics(&metrics);
+    store.set_metrics(&metrics);
+    images.set_metrics(&metrics);
+    fleet->set_metrics(&metrics);
+    dvc->set_metrics(&metrics);
+    telemetry::bridge_trace_errors(trace, metrics);
   }
 
   sim::Simulation sim;
   /// Structured operational log (off-echo by default; see sim::TraceLog).
   sim::TraceLog trace;
+  /// Room-wide metrics registry and sim-time span timeline; every
+  /// subsystem above reports into it (see docs/ARCHITECTURE.md,
+  /// "Telemetry & profiling").
+  telemetry::MetricsRegistry metrics;
   hw::Fabric fabric;
   storage::SharedStore store;
   storage::ImageManager images;

@@ -49,9 +49,27 @@ void Network::attach(const Address& addr, PacketSink* sink) {
 
 void Network::detach(const Address& addr) { sinks_.erase(addr); }
 
+void Network::set_metrics(telemetry::MetricsRegistry* m) {
+  metrics_ = m;
+  if (m == nullptr) {
+    packets_sent_c_ = bytes_sent_c_ = packets_delivered_c_ =
+        packets_lost_c_ = packets_dark_c_ = nullptr;
+    return;
+  }
+  packets_sent_c_ = &m->counter("net.network.packets_sent");
+  bytes_sent_c_ = &m->counter("net.network.bytes_sent");
+  packets_delivered_c_ = &m->counter("net.network.packets_delivered");
+  packets_lost_c_ = &m->counter("net.network.packets_lost_wire");
+  packets_dark_c_ = &m->counter("net.network.packets_dropped_dark");
+}
+
 bool Network::send(const Packet& p) {
   if (!host_up(p.src.host)) return false;
   ++sent_;
+  if (packets_sent_c_ != nullptr) {
+    packets_sent_c_->add();
+    bytes_sent_c_->add(p.size_bytes);
+  }
   const double bw = link_->bandwidth_bps(p.src.host, p.dst.host);
   const auto serialisation = static_cast<sim::Duration>(
       static_cast<double>(p.size_bytes) / bw * sim::kSecond);
@@ -60,6 +78,7 @@ bool Network::send(const Packet& p) {
       std::max(sim_->now(), egress_free_[p.src.host]) + serialisation;
   egress_free_[p.src.host] = depart;
   if (rng_.chance(link_->loss_probability(p.src.host, p.dst.host))) {
+    if (packets_lost_c_ != nullptr) packets_lost_c_->add();
     return true;  // occupied the wire, then died on it
   }
   const sim::Time arrive =
@@ -71,10 +90,14 @@ bool Network::send(const Packet& p) {
 void Network::deliver(const Packet& p) {
   // A packet reaching a paused/saved/failed host is lost: the virtual NIC
   // is not consuming its ring, so nothing is ACKed (paper §3, scenario 1).
-  if (!host_up(p.dst.host)) return;
+  if (!host_up(p.dst.host)) {
+    if (packets_dark_c_ != nullptr) packets_dark_c_->add();
+    return;
+  }
   const auto it = sinks_.find(p.dst);
   if (it == sinks_.end()) return;  // no listener: dropped like a closed port
   ++delivered_;
+  if (packets_delivered_c_ != nullptr) packets_delivered_c_->add();
   it->second->on_packet(p);
 }
 

@@ -10,6 +10,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dvc::net {
 
@@ -208,6 +209,14 @@ class Network final {
 
   [[nodiscard]] LinkModel& link_model() noexcept { return *link_; }
 
+  /// Attaches an optional metrics registry (null to detach). The fabric-
+  /// level packet/byte counters are cached as raw instrument pointers so
+  /// the per-packet cost is one branch + increment.
+  void set_metrics(telemetry::MetricsRegistry* m);
+  [[nodiscard]] telemetry::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
+  }
+
  private:
   void deliver(const Packet& p);
 
@@ -223,6 +232,12 @@ class Network final {
   std::unordered_map<Address, PacketSink*, AddressHash> sinks_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Counter* packets_sent_c_ = nullptr;
+  telemetry::Counter* bytes_sent_c_ = nullptr;
+  telemetry::Counter* packets_delivered_c_ = nullptr;
+  telemetry::Counter* packets_lost_c_ = nullptr;
+  telemetry::Counter* packets_dark_c_ = nullptr;
 };
 
 }  // namespace dvc::net

@@ -90,6 +90,7 @@ void ReliableEndpoint::on_timer() {
     // state and do not advance. Park until the host is thawed; no retries
     // are consumed while frozen.
     parked_ = true;
+    telemetry::count(net_->metrics(), "net.endpoint.stalls");
     return;
   }
 
@@ -99,6 +100,7 @@ void ReliableEndpoint::on_timer() {
   }
   ++retries_;
   ++retransmissions_;
+  telemetry::count(net_->metrics(), "net.endpoint.retransmissions");
   // Retransmit the oldest unacknowledged message, back off, re-arm.
   const auto& [seq, m] = *unacked_.begin();
   transmit(seq, m);
@@ -111,6 +113,7 @@ void ReliableEndpoint::on_timer() {
 void ReliableEndpoint::fail(std::string_view reason) {
   if (state_ == State::kFailed) return;
   state_ = State::kFailed;
+  telemetry::count(net_->metrics(), "net.endpoint.aborts");
   if (timer_ != sim::kInvalidEvent) {
     sim_->cancel(timer_);
     timer_ = sim::kInvalidEvent;
@@ -188,6 +191,7 @@ void ReliableEndpoint::on_packet(const Packet& p) {
     // ACK, e.g. it was lost across a checkpoint cut). Re-ACK, do not
     // redeliver — paper §3 scenario 2.
     ++duplicates_;
+    telemetry::count(net_->metrics(), "net.endpoint.duplicates");
     send_ack();
     return;
   }

@@ -20,6 +20,7 @@ JobId Scheduler::submit(JobRequest req) {
   rec.id = id;
   rec.request = std::move(req);
   rec.submitted_at = sim_->now();
+  telemetry::count(metrics_, "rm.scheduler.jobs_submitted");
 
   // Reject jobs that could never run under this configuration (a rigid
   // request bigger than any single cluster on a non-spanning system),
@@ -42,6 +43,7 @@ JobId Scheduler::submit(JobRequest req) {
     rec.state = JobState::kFailed;
     rec.finished_at = sim_->now();
     ++failed_count_;
+    telemetry::count(metrics_, "rm.scheduler.jobs_rejected");
     auto [it, inserted] = jobs_.emplace(id, std::move(rec));
     if (on_finish_) on_finish_(it->second);
     return id;
@@ -49,6 +51,8 @@ JobId Scheduler::submit(JobRequest req) {
 
   jobs_.emplace(id, std::move(rec));
   queue_.push_back(id);
+  telemetry::gauge_set(metrics_, "rm.scheduler.queue_depth",
+                       static_cast<double>(queue_.size()));
   try_schedule();
   return id;
 }
@@ -147,6 +151,8 @@ void Scheduler::try_schedule() {
     }
 
     queue_.pop_front();
+    telemetry::gauge_set(metrics_, "rm.scheduler.queue_depth",
+                         static_cast<double>(queue_.size()));
     start_job(job, std::move(*alloc));
   }
 }
@@ -194,6 +200,7 @@ void Scheduler::try_backfill(const JobRecord& head) {
     if (alloc) {
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(qi));
       ++backfill_count_;
+      telemetry::count(metrics_, "rm.scheduler.jobs_backfilled");
       start_job(job, std::move(*alloc));
       // start_job -> (on completion) try_schedule may have restructured
       // the queue; restart the scan conservatively.
@@ -215,6 +222,18 @@ void Scheduler::start_job(JobRecord& job, Allocation alloc) {
   }
   ++running_count_;
   waits_.add(sim::to_seconds(job.started_at - job.submitted_at));
+  telemetry::count(metrics_, "rm.scheduler.jobs_started");
+  telemetry::observe(metrics_, "rm.scheduler.placement_wait_s",
+                     sim::to_seconds(job.started_at - job.submitted_at));
+  telemetry::gauge_set(metrics_, "rm.scheduler.queue_depth",
+                       static_cast<double>(queue_.size()));
+  telemetry::gauge_set(metrics_, "rm.scheduler.running",
+                       static_cast<double>(running_count_));
+  if (metrics_ != nullptr) {
+    job_spans_[job.id] = metrics_->begin_span(
+        job.started_at, "rm",
+        job.request.name.empty() ? "job" : job.request.name);
+  }
   {
     const double n = static_cast<double>(job.allocation.nodes.size());
     expected_end_[job.id] =
@@ -266,8 +285,17 @@ void Scheduler::finish_job(JobRecord& job, JobState final_state) {
   expected_end_.erase(job.id);
   if (final_state == JobState::kCompleted) {
     ++completed_count_;
+    telemetry::count(metrics_, "rm.scheduler.jobs_completed");
   } else {
     ++failed_count_;
+    telemetry::count(metrics_, "rm.scheduler.jobs_failed");
+  }
+  telemetry::gauge_set(metrics_, "rm.scheduler.running",
+                       static_cast<double>(running_count_));
+  const auto span = job_spans_.find(job.id);
+  if (span != job_spans_.end()) {
+    telemetry::end_span(metrics_, span->second, sim_->now());
+    job_spans_.erase(span);
   }
   if (on_finish_) on_finish_(job);
   try_schedule();

@@ -12,6 +12,7 @@
 #include "hw/cluster.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dvc::rm {
 
@@ -143,6 +144,11 @@ class Scheduler final {
     return backfill_count_;
   }
 
+  /// Attaches an optional metrics registry: job lifecycle counters and the
+  /// placement-wait histogram land in `rm.scheduler.*`; each running job
+  /// appears as a span on the "rm" timeline track.
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
+
  private:
   void try_schedule();
   void try_backfill(const JobRecord& head);
@@ -174,6 +180,8 @@ class Scheduler final {
   mutable sim::Time busy_accum_mark_ = 0;
   std::function<void(const JobRecord&)> on_start_;
   std::function<void(const JobRecord&)> on_finish_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::map<JobId, telemetry::MetricsRegistry::SpanId> job_spans_;
 };
 
 }  // namespace dvc::rm

@@ -22,7 +22,10 @@ class SummaryStats final {
     min_ = n_ == 1 ? x : std::min(min_, x);
     max_ = n_ == 1 ? x : std::max(max_, x);
     sum_ += x;
-    if (keep_samples_) samples_.push_back(x);
+    if (keep_samples_) {
+      sorted_ = sorted_ && (samples_.empty() || x >= samples_.back());
+      samples_.push_back(x);
+    }
   }
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
@@ -39,10 +42,16 @@ class SummaryStats final {
   }
 
   /// Percentile in [0, 100]; requires keep_samples = true and count() > 0.
+  /// Sorts the retained samples lazily (and in place) on first use after
+  /// an add(), so sweeping many percentiles costs one sort, not one copy
+  /// plus one sort per call.
   [[nodiscard]] double percentile(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<double> v = samples_;
-    std::sort(v.begin(), v.end());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const std::vector<double>& v = samples_;
     const double idx = (p / 100.0) * static_cast<double>(v.size() - 1);
     const auto lo = static_cast<std::size_t>(idx);
     const auto hi = std::min(lo + 1, v.size() - 1);
@@ -58,7 +67,10 @@ class SummaryStats final {
   double min_ = 0.0;
   double max_ = 0.0;
   double sum_ = 0.0;
-  std::vector<double> samples_;
+  /// Retained samples; percentile() may reorder them (sorted-ness is
+  /// cached in sorted_ and invalidated by out-of-order add()s).
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace dvc::sim

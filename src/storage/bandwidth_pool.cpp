@@ -2,17 +2,39 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace dvc::storage {
 
+void BandwidthPool::set_metrics(telemetry::MetricsRegistry* m,
+                                std::string_view prefix) {
+  if (m == nullptr) {
+    bytes_c_ = transfers_c_ = nullptr;
+    transfer_h_ = wait_h_ = nullptr;
+    active_g_ = nullptr;
+    return;
+  }
+  const std::string p(prefix);
+  bytes_c_ = &m->counter(p + ".bytes");
+  transfers_c_ = &m->counter(p + ".transfers");
+  transfer_h_ = &m->histogram(p + ".transfer_s");
+  wait_h_ = &m->histogram(p + ".contention_wait_s");
+  active_g_ = &m->gauge(p + ".active");
+}
+
 TransferId BandwidthPool::start(std::uint64_t bytes,
                                 std::function<void()> on_complete) {
   settle();
   const TransferId id = next_id_++;
-  transfers_.emplace(
-      id, Transfer{static_cast<double>(bytes), std::move(on_complete)});
+  transfers_.emplace(id, Transfer{static_cast<double>(bytes),
+                                  std::move(on_complete), bytes,
+                                  sim_->now()});
+  if (bytes_c_ != nullptr) {
+    bytes_c_->add(bytes);
+    active_g_->set(static_cast<double>(transfers_.size()));
+  }
   reschedule();
   return id;
 }
@@ -20,7 +42,12 @@ TransferId BandwidthPool::start(std::uint64_t bytes,
 bool BandwidthPool::cancel(TransferId id) {
   settle();
   const bool erased = transfers_.erase(id) > 0;
-  if (erased) reschedule();
+  if (erased) {
+    if (active_g_ != nullptr) {
+      active_g_->set(static_cast<double>(transfers_.size()));
+    }
+    reschedule();
+  }
   return erased;
 }
 
@@ -62,12 +89,23 @@ void BandwidthPool::reschedule() {
     std::vector<std::function<void()>> done;
     for (auto it = transfers_.begin(); it != transfers_.end();) {
       if (it->second.remaining_bytes <= 0.5) {  // sub-byte fluid residue
+        if (transfers_c_ != nullptr) {
+          transfers_c_->add();
+          const sim::Duration actual = sim_->now() - it->second.started;
+          transfer_h_->observe(sim::to_seconds(actual));
+          const sim::Duration alone = uncontended_time(it->second.bytes);
+          wait_h_->observe(sim::to_seconds(
+              actual > alone ? actual - alone : sim::Duration{0}));
+        }
         done.push_back(std::move(it->second.on_complete));
         it = transfers_.erase(it);
         ++completed_;
       } else {
         ++it;
       }
+    }
+    if (active_g_ != nullptr) {
+      active_g_->set(static_cast<double>(transfers_.size()));
     }
     reschedule();
     for (auto& fn : done) {

@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string_view>
 
 #include "sim/simulation.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dvc::storage {
 
@@ -47,10 +49,19 @@ class BandwidthPool final {
                                       sim::kSecond);
   }
 
+  /// Attaches an optional metrics registry. `prefix` names this pool
+  /// (e.g. "storage.write_pool"); the pool then records `<prefix>.bytes`,
+  /// `<prefix>.transfers`, `<prefix>.transfer_s`,
+  /// `<prefix>.contention_wait_s` (actual minus uncontended time — the
+  /// cost of sharing the pipe) and the `<prefix>.active` gauge.
+  void set_metrics(telemetry::MetricsRegistry* m, std::string_view prefix);
+
  private:
   struct Transfer {
     double remaining_bytes;
     std::function<void()> on_complete;
+    std::uint64_t bytes = 0;     ///< original size, for metrics
+    sim::Time started = 0;
   };
 
   /// Advances every transfer by the elapsed fluid progress, then reschedules
@@ -65,6 +76,12 @@ class BandwidthPool final {
   std::map<TransferId, Transfer> transfers_;
   sim::EventId pending_event_ = sim::kInvalidEvent;
   std::uint64_t completed_ = 0;
+
+  telemetry::Counter* bytes_c_ = nullptr;
+  telemetry::Counter* transfers_c_ = nullptr;
+  telemetry::Histogram* transfer_h_ = nullptr;
+  telemetry::Histogram* wait_h_ = nullptr;
+  telemetry::Gauge* active_g_ = nullptr;
 };
 
 }  // namespace dvc::storage

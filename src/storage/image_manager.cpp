@@ -20,8 +20,10 @@ std::optional<ObjectId> ImageManager::find_base_image(
     const std::string& name) const {
   const auto it = base_images_.find(name);
   if (it == base_images_.end() || it->second == kInvalidObject) {
+    telemetry::count(metrics_, "storage.images.base_image_misses");
     return std::nullopt;
   }
+  telemetry::count(metrics_, "storage.images.base_image_hits");
   return it->second;
 }
 
@@ -33,6 +35,7 @@ CheckpointSetId ImageManager::open_set(std::string label,
   s.label = std::move(label);
   s.expected_members = members;
   sets_.emplace(id, std::move(s));
+  telemetry::count(metrics_, "storage.images.sets_opened");
   return id;
 }
 
@@ -53,6 +56,8 @@ void ImageManager::add_member(CheckpointSetId set, std::uint64_t member,
                          }
                          sit->second.members.push_back(
                              MemberImage{member, obj, bytes});
+                         telemetry::count(metrics_,
+                                          "storage.images.members_added");
                          maybe_seal(sit->second);
                          if (cb) cb();
                        });
@@ -65,6 +70,7 @@ void ImageManager::abort_set(CheckpointSetId set) {
   for (const auto& m : it->second.members) store_->remove_object(m.object);
   it->second.members.clear();
   seal_callbacks_.erase(set);
+  telemetry::count(metrics_, "storage.images.sets_aborted");
 }
 
 void ImageManager::on_sealed(CheckpointSetId set, std::function<void()> fn) {
@@ -79,6 +85,7 @@ void ImageManager::on_sealed(CheckpointSetId set, std::function<void()> fn) {
 void ImageManager::maybe_seal(CheckpointSet& s) {
   if (s.sealed || s.aborted || s.members.size() < s.expected_members) return;
   s.sealed = true;
+  telemetry::count(metrics_, "storage.images.sets_sealed");
   const auto cbs = seal_callbacks_.find(s.id);
   if (cbs != seal_callbacks_.end()) {
     const auto fns = std::move(cbs->second);
@@ -115,6 +122,7 @@ void ImageManager::stage_set(CheckpointSetId set,
     return;
   }
   for (const auto& m : s->members) {
+    telemetry::count(metrics_, "storage.images.stage_reads");
     store_->read_object(m.object,
                         [remaining, all_ok, on_staged](bool ok) {
                           if (!ok) *all_ok = false;
@@ -142,6 +150,8 @@ std::uint64_t ImageManager::prune(const std::string& label,
     }
     sets_.erase(it);
   }
+  telemetry::count(metrics_, "storage.images.sets_pruned", drop);
+  telemetry::count(metrics_, "storage.images.pruned_bytes", reclaimed);
   return reclaimed;
 }
 

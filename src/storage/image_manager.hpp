@@ -95,9 +95,15 @@ class ImageManager final {
 
   [[nodiscard]] SharedStore& store() noexcept { return *store_; }
 
+  /// Attaches an optional metrics registry for set lifecycle counters
+  /// (`storage.images.*`: sets opened/sealed/aborted, members added,
+  /// base-image lookup hits/misses, staging reads, pruned bytes).
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
+
  private:
   void maybe_seal(CheckpointSet& s);
 
+  telemetry::MetricsRegistry* metrics_ = nullptr;
   SharedStore* store_;
   std::unordered_map<std::string, ObjectId> base_images_;
   CheckpointSetId next_set_ = 1;

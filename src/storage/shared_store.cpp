@@ -16,6 +16,12 @@ std::uint64_t synthetic_checksum(std::uint64_t a, std::uint64_t b,
   return h;
 }
 
+void SharedStore::set_metrics(telemetry::MetricsRegistry* m) {
+  metrics_ = m;
+  writes_.set_metrics(m, "storage.write_pool");
+  reads_.set_metrics(m, "storage.read_pool");
+}
+
 void SharedStore::write_object(std::string name, std::uint64_t bytes,
                                std::uint64_t checksum,
                                std::function<void(ObjectId)> on_complete) {
@@ -39,6 +45,9 @@ void SharedStore::write_object(std::string name, std::uint64_t bytes,
       bytes_stored_ += bytes;
       bytes_written_total_ += bytes;
       write_times_.add(sim::to_seconds(sim_->now() - started));
+      telemetry::count(metrics_, "storage.store.writes");
+      telemetry::observe(metrics_, "storage.store.write_s",
+                         sim::to_seconds(sim_->now() - started));
       if (cb) cb(id);
     });
   });
@@ -64,6 +73,7 @@ void SharedStore::read_object(ObjectId id,
                                           cb = std::move(on_complete)] {
     const auto it = objects_.find(id);
     if (it == objects_.end()) {
+      telemetry::count(metrics_, "storage.store.read_failures");
       if (cb) cb(false);
       return;
     }
@@ -73,6 +83,8 @@ void SharedStore::read_object(ObjectId id,
       const auto again = objects_.find(id);
       const bool ok = again != objects_.end() &&
                       again->second.checksum == expect;
+      telemetry::count(metrics_, ok ? "storage.store.reads"
+                                    : "storage.store.read_failures");
       if (cb) cb(ok);
     });
   });

@@ -90,6 +90,12 @@ class SharedStore final {
   [[nodiscard]] BandwidthPool& write_pool() noexcept { return writes_; }
   [[nodiscard]] BandwidthPool& read_pool() noexcept { return reads_; }
 
+  /// Attaches an optional metrics registry: wires both bandwidth pools
+  /// (`storage.write_pool.*` / `storage.read_pool.*`) and records
+  /// store-level op counts plus the durable-write latency histogram
+  /// `storage.store.write_s`.
+  void set_metrics(telemetry::MetricsRegistry* m);
+
   /// Observed write completion times (seconds), for bench reporting.
   [[nodiscard]] const sim::SummaryStats& write_time_stats() const noexcept {
     return write_times_;
@@ -105,6 +111,7 @@ class SharedStore final {
   std::uint64_t bytes_stored_ = 0;
   std::uint64_t bytes_written_total_ = 0;
   sim::SummaryStats write_times_{/*keep_samples=*/true};
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace dvc::storage

@@ -1,0 +1,253 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace dvc::telemetry {
+
+/// Monotonically increasing event count (saves completed, retransmissions,
+/// cache hits). Counters only ever go up.
+class Counter final {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written level of some quantity (queue depth, active transfers).
+/// Tracks the high-water mark alongside the current value.
+class Gauge final {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  void add(double d) noexcept { set(value_ + d); }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Distribution of observed values: fixed log-scale buckets (geometric
+/// bucket bounds, so one layout covers microseconds through hours) plus a
+/// Welford summary (sim::SummaryStats) for exact moments. Memory is O(1)
+/// per instrument regardless of observation count.
+class Histogram final {
+ public:
+  struct Options {
+    double first_bound = 1e-6;  ///< upper bound of the first finite bucket
+    double growth = 2.0;        ///< geometric bound ratio
+    int buckets = 64;           ///< finite buckets (+1 implicit overflow)
+  };
+
+  Histogram() : Histogram(Options{}) {}
+  explicit Histogram(Options opt);
+
+  void observe(double v);
+
+  [[nodiscard]] const sim::SummaryStats& summary() const noexcept {
+    return summary_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return summary_.count();
+  }
+  /// Approximate quantile in [0, 100] reconstructed from the bucket counts
+  /// (exact min/max from the summary clamp the tails).
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const Options& options() const noexcept { return opt_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts()
+      const noexcept {
+    return counts_;
+  }
+  /// Upper bound of bucket `i` (the last bucket is unbounded).
+  [[nodiscard]] double bucket_bound(std::size_t i) const;
+
+ private:
+  Options opt_;
+  std::vector<std::uint64_t> counts_;  ///< opt_.buckets finite + 1 overflow
+  sim::SummaryStats summary_;
+};
+
+/// One completed (or still-open) span on a named track of the timeline.
+struct Span {
+  std::string track;  ///< e.g. "vm/node3", "lsc", "dvc"
+  std::string name;   ///< e.g. "save", "round", "recover"
+  std::string args;   ///< optional pre-rendered JSON object ("" = none)
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  bool open = true;
+};
+
+/// A point event on a track (scheduler decision, timeout hit, retry).
+struct Instant {
+  std::string track;
+  std::string name;
+  sim::Time at = 0;
+};
+
+/// Owner of every named instrument plus the sim-time span timeline.
+///
+/// Instrument names follow `subsystem.object.metric`
+/// (e.g. `vm.hypervisor.saves`, `net.endpoint.retransmissions`,
+/// `storage.write_pool.wait_s`). Instruments are created on first use and
+/// live for the registry's lifetime; all lookups are by full name.
+///
+/// Components hold a `MetricsRegistry*` that may be null — telemetry is
+/// strictly optional, exactly like sim::TraceLog. The free helpers below
+/// (count / observe / gauge_set / begin_span / ...) are null-safe so
+/// instrumented code needs no branches.
+///
+/// Determinism: instruments are stored name-ordered and spans in creation
+/// order, and every value derives from simulated time or simulated events,
+/// so two same-seed runs export byte-identical JSON.
+class MetricsRegistry final {
+ public:
+  using SpanId = std::uint64_t;
+  static constexpr SpanId kInvalidSpan = 0;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     Histogram::Options opt = Histogram::Options{});
+
+  /// Read-only lookups: null if the instrument was never touched.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Convenience for tests/benches: counter value or 0 if absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  // ---- timeline ---------------------------------------------------------
+
+  /// Opens a span on `track` at sim-time `at`. Tracks are created on first
+  /// use and become the rows of the exported Chrome trace.
+  SpanId begin_span(sim::Time at, std::string_view track,
+                    std::string_view name, std::string args_json = {});
+  /// Closes a span. Closing kInvalidSpan or an unknown id is a no-op.
+  void end_span(SpanId id, sim::Time at);
+  /// Records a zero-duration point event.
+  void instant(sim::Time at, std::string_view track, std::string_view name);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<Instant>& instants() const noexcept {
+    return instants_;
+  }
+
+  // ---- export -----------------------------------------------------------
+
+  /// Deterministic JSON dump of every instrument (counters, gauges,
+  /// histograms with summary + non-empty buckets), name-ordered.
+  void write_metrics_json(std::ostream& out) const;
+
+  /// Chrome trace_event JSON (the "JSON array format"): complete "X"
+  /// events for spans, "i" instants, and "M" thread-name metadata mapping
+  /// each track to a tid. Loadable in chrome://tracing and Perfetto.
+  /// Timestamps are sim-time microseconds.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  SpanId next_span_ = 1;
+};
+
+// ---- null-safe helpers (mirror sim::trace) --------------------------------
+
+inline void count(MetricsRegistry* m, std::string_view name,
+                  std::uint64_t n = 1) {
+  if (m != nullptr) m->counter(name).add(n);
+}
+
+inline void observe(MetricsRegistry* m, std::string_view name, double v) {
+  if (m != nullptr) m->histogram(name).observe(v);
+}
+
+inline void gauge_set(MetricsRegistry* m, std::string_view name, double v) {
+  if (m != nullptr) m->gauge(name).set(v);
+}
+
+inline void gauge_add(MetricsRegistry* m, std::string_view name, double d) {
+  if (m != nullptr) m->gauge(name).add(d);
+}
+
+inline MetricsRegistry::SpanId begin_span(MetricsRegistry* m, sim::Time at,
+                                          std::string_view track,
+                                          std::string_view name,
+                                          std::string args_json = {}) {
+  return m == nullptr ? MetricsRegistry::kInvalidSpan
+                      : m->begin_span(at, track, name, std::move(args_json));
+}
+
+inline void end_span(MetricsRegistry* m, MetricsRegistry::SpanId id,
+                     sim::Time at) {
+  if (m != nullptr) m->end_span(id, at);
+}
+
+inline void instant(MetricsRegistry* m, sim::Time at, std::string_view track,
+                    std::string_view name) {
+  if (m != nullptr) m->instant(at, track, name);
+}
+
+/// Sim-time stopwatch over an operation that may span many simulation
+/// events: opens at construction, closes at destruction or an explicit
+/// end(). The elapsed *simulated* time lands in `histogram_name`
+/// (seconds) and, when `track` is non-empty, as a timeline span. Keep the
+/// timer alive across the async callback chain (e.g. in a shared_ptr
+/// capture) and the freeze-to-durable duration falls out for free.
+class ScopedTimer final {
+ public:
+  ScopedTimer(MetricsRegistry* m, const sim::Simulation& sim,
+              std::string_view histogram_name, std::string_view track = {},
+              std::string_view span_name = {})
+      : m_(m), sim_(&sim), begin_(sim.now()), name_(histogram_name) {
+    if (m_ != nullptr && !track.empty()) {
+      span_ = m_->begin_span(begin_, track, span_name);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { end(); }
+
+  /// Ends the span now (idempotent; the destructor then does nothing).
+  void end() {
+    if (done_) return;
+    done_ = true;
+    if (m_ == nullptr) return;
+    m_->histogram(name_).observe(sim::to_seconds(sim_->now() - begin_));
+    m_->end_span(span_, sim_->now());
+  }
+
+ private:
+  MetricsRegistry* m_;
+  const sim::Simulation* sim_;
+  sim::Time begin_;
+  std::string name_;
+  MetricsRegistry::SpanId span_ = MetricsRegistry::kInvalidSpan;
+  bool done_ = false;
+};
+
+}  // namespace dvc::telemetry

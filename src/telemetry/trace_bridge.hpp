@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dvc::telemetry {
+
+/// TraceLog → telemetry bridge: every kWarn / kError trace event also
+/// increments a per-component counter (`trace.warn.<component>` /
+/// `trace.error.<component>`), so operational anomalies are countable
+/// without scanning the ring buffer. The registry must outlive the log's
+/// emitting lifetime (both usually sit side by side in a MachineRoom).
+inline void bridge_trace_errors(sim::TraceLog& log, MetricsRegistry& m) {
+  log.subscribe([&m](const sim::TraceEvent& e) {
+    if (e.level == sim::TraceLevel::kWarn) {
+      m.counter("trace.warn." + e.component).add();
+    } else if (e.level == sim::TraceLevel::kError) {
+      m.counter("trace.error." + e.component).add();
+    }
+  });
+}
+
+}  // namespace dvc::telemetry

@@ -7,7 +7,12 @@ namespace dvc::vm {
 
 Hypervisor::Hypervisor(sim::Simulation& sim, hw::Fabric& fabric,
                        hw::NodeId node, Config cfg, sim::Rng rng)
-    : sim_(&sim), fabric_(&fabric), node_(node), cfg_(cfg), rng_(rng) {}
+    : sim_(&sim),
+      fabric_(&fabric),
+      node_(node),
+      cfg_(cfg),
+      rng_(rng),
+      track_("vm/node" + std::to_string(node)) {}
 
 bool Hypervisor::node_failed() const { return fabric_->node(node_).failed(); }
 
@@ -20,13 +25,20 @@ void Hypervisor::boot_domain(VirtualMachine& vm,
   if (node_failed()) return;
   vm.place_on(fabric_->node(node_));
   residents_.insert(&vm);
+  const sim::Time begin = sim_->now();
+  const auto span = telemetry::begin_span(metrics_, begin, track_, "boot");
   sim_->schedule_after(cfg_.boot_time,
-                       [this, &vm, cb = std::move(on_booted)] {
+                       [this, &vm, begin, span, cb = std::move(on_booted)] {
+                         telemetry::end_span(metrics_, span, sim_->now());
                          if (node_failed() ||
                              vm.state() == DomainState::kDead) {
                            return;
                          }
                          vm.resume();
+                         telemetry::count(metrics_, "vm.hypervisor.boots");
+                         telemetry::observe(
+                             metrics_, "vm.hypervisor.boot_s",
+                             sim::to_seconds(sim_->now() - begin));
                          if (cb) cb();
                        });
 }
@@ -37,10 +49,14 @@ void Hypervisor::save_domain(VirtualMachine& vm,
                              std::uint64_t member,
                              std::function<void(bool, std::any)> on_durable,
                              bool incremental) {
+  const sim::Time begin = sim_->now();
+  const auto span = telemetry::begin_span(metrics_, begin, track_, "save");
   sim_->schedule_after(cmd_latency(), [this, &vm, &images, set, member,
-                                       incremental,
+                                       incremental, begin, span,
                                        cb = std::move(on_durable)] {
     if (node_failed() || vm.state() == DomainState::kDead) {
+      telemetry::count(metrics_, "vm.hypervisor.save_failures");
+      telemetry::end_span(metrics_, span, sim_->now());
       if (cb) cb(false, std::any{});
       return;
     }
@@ -62,22 +78,32 @@ void Hypervisor::save_domain(VirtualMachine& vm,
             : vm.config().ram_bytes;
     sim_->schedule_after(
         cfg_.save_overhead,
-        [this, &vm, &images, set, member, image_bytes,
+        [this, &vm, &images, set, member, image_bytes, begin, span,
          state = std::move(app_state), cb = std::move(cb)] {
           if (node_failed() || vm.state() == DomainState::kDead) {
+            telemetry::count(metrics_, "vm.hypervisor.save_failures");
+            telemetry::end_span(metrics_, span, sim_->now());
             if (cb) cb(false, std::any{});
             return;
           }
           images.add_member(
               set, member, image_bytes,
-              [this, &vm, state = std::move(state), cb = std::move(cb)] {
+              [this, &vm, image_bytes, begin, span,
+               state = std::move(state), cb = std::move(cb)] {
+                telemetry::end_span(metrics_, span, sim_->now());
                 if (vm.state() == DomainState::kDead) {
+                  telemetry::count(metrics_, "vm.hypervisor.save_failures");
                   if (cb) cb(false, std::any{});
                   return;
                 }
                 vm.mark_saved();
                 vm.mark_imaged();
                 ++saves_completed_;
+                telemetry::count(metrics_, "vm.hypervisor.saves");
+                telemetry::count(metrics_, "vm.hypervisor.bytes_saved",
+                                 image_bytes);
+                telemetry::observe(metrics_, "vm.hypervisor.save_s",
+                                   sim::to_seconds(sim_->now() - begin));
                 if (cb) cb(true, std::move(state));
               });
         });
@@ -112,23 +138,43 @@ void Hypervisor::restore_domain(VirtualMachine& vm,
   }
   vm.place_on(fabric_->node(node_));
   residents_.insert(&vm);
+  const sim::Time begin = sim_->now();
+  const auto span = telemetry::begin_span(metrics_, begin, track_, "restore");
+  const std::uint64_t image_bytes = image->bytes;
   images.store().read_object(
       image->object,
-      [this, &vm, state = std::move(app_state),
+      [this, &vm, begin, span, image_bytes, state = std::move(app_state),
        cb = std::move(on_done)](bool ok) mutable {
         if (!ok || node_failed()) {
+          telemetry::count(metrics_, "vm.hypervisor.restore_failures");
+          telemetry::end_span(metrics_, span, sim_->now());
           if (cb) cb(false);
           return;
         }
         sim_->schedule_after(cfg_.restore_overhead,
-                             [this, &vm, state = std::move(state),
+                             [this, &vm, begin, span, image_bytes,
+                              state = std::move(state),
                               cb = std::move(cb)] {
+                               telemetry::end_span(metrics_, span,
+                                                   sim_->now());
                                if (node_failed()) {
+                                 telemetry::count(
+                                     metrics_,
+                                     "vm.hypervisor.restore_failures");
                                  if (cb) cb(false);
                                  return;
                                }
                                vm.rollback_and_resume(state);
                                ++restores_completed_;
+                               telemetry::count(metrics_,
+                                                "vm.hypervisor.restores");
+                               telemetry::count(
+                                   metrics_,
+                                   "vm.hypervisor.bytes_restored",
+                                   image_bytes);
+                               telemetry::observe(
+                                   metrics_, "vm.hypervisor.restore_s",
+                                   sim::to_seconds(sim_->now() - begin));
                                if (cb) cb(true);
                              });
       });
@@ -159,6 +205,11 @@ void Hypervisor::on_node_failure() {
   // store survive (that is the whole point of DVC recovery).
   const auto residents = residents_;
   residents_.clear();
+  if (!residents.empty()) {
+    telemetry::count(metrics_, "vm.hypervisor.domains_killed",
+                     residents.size());
+    telemetry::instant(metrics_, sim_->now(), track_, "node_failure");
+  }
   for (VirtualMachine* vm : residents) vm->kill();
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "storage/image_manager.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/virtual_machine.hpp"
 
 namespace dvc::vm {
@@ -93,6 +95,11 @@ class Hypervisor final {
   /// Kills every resident domain; wired to the fabric's failure feed.
   void on_node_failure();
 
+  /// Attaches an optional metrics registry. Save/restore/boot durations
+  /// land in `vm.hypervisor.*` histograms and each operation appears as a
+  /// span on the `vm/node<N>` timeline track.
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
+
  private:
   [[nodiscard]] sim::Duration cmd_latency();
 
@@ -104,6 +111,8 @@ class Hypervisor final {
   std::unordered_set<VirtualMachine*> residents_;
   std::uint64_t saves_completed_ = 0;
   std::uint64_t restores_completed_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::string track_;  ///< timeline track name ("vm/node<N>")
 };
 
 /// One hypervisor per node of a fabric, with failure wiring installed.
@@ -116,6 +125,11 @@ class HypervisorFleet final {
     return *fleet_.at(node);
   }
   [[nodiscard]] std::size_t size() const noexcept { return fleet_.size(); }
+
+  /// Forwards the registry to every node's hypervisor.
+  void set_metrics(telemetry::MetricsRegistry* m) noexcept {
+    for (auto& h : fleet_) h->set_metrics(m);
+  }
 
  private:
   std::vector<std::unique_ptr<Hypervisor>> fleet_;

@@ -39,6 +39,43 @@ TEST(ScenarioConfigTest, RejectsMalformedInput) {
   EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
 }
 
+TEST(ScenarioConfigTest, MalformedLineReportsLineNumber) {
+  try {
+    ScenarioConfig::parse("a = 1\n\n# fine\nbroken line\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(ScenarioConfigTest, BadNumericsNameTheKeyAndValue) {
+  const auto cfg = ScenarioConfig::parse(
+      "count = 12x\nratio = 0.5.1\nempty =\n");
+  for (const char* key : {"count", "ratio", "empty"}) {
+    try {
+      (void)cfg.get_int(key, 0);
+      FAIL() << "expected std::invalid_argument for key " << key;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos);
+    }
+  }
+  EXPECT_THROW(cfg.get_double("ratio", 0.0), std::invalid_argument);
+  // Trailing garbage after a valid prefix must not parse as the prefix.
+  EXPECT_THROW(cfg.get_int("count", 0), std::invalid_argument);
+}
+
+TEST(ScenarioConfigTest, ValidateKeysRejectsUnknownKey) {
+  const auto cfg = ScenarioConfig::parse("experiment = migrate\nsede = 7\n");
+  try {
+    cfg.validate_keys({"experiment", "seed"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sede"), std::string::npos);
+  }
+  // The full vocabulary passes.
+  cfg.validate_keys({"experiment", "seed", "sede"});
+}
+
 TEST(ScenarioConfigTest, LastDuplicateWins) {
   const auto cfg = ScenarioConfig::parse("a = 1\na = 2\n");
   EXPECT_EQ(cfg.get_int("a", 0), 2);

@@ -287,5 +287,27 @@ TEST(StatsTest, PercentilesWithSamples) {
   EXPECT_NEAR(st.percentile(95), 95.05, 0.01);
 }
 
+TEST(StatsTest, RepeatedPercentileCallsAgree) {
+  // percentile() sorts its retained samples lazily; repeated calls and
+  // interleaved add()s must agree with a freshly built equivalent.
+  Rng r(99);
+  SummaryStats st(/*keep_samples=*/true);
+  for (int i = 0; i < 1000; ++i) st.add(r.uniform(0.0, 1.0));
+  const double p50 = st.percentile(50);
+  const double p99 = st.percentile(99);
+  EXPECT_DOUBLE_EQ(st.percentile(50), p50);
+  EXPECT_DOUBLE_EQ(st.percentile(99), p99);
+
+  // Adding after a sort invalidates the cache rather than the answer.
+  st.add(-1.0);
+  EXPECT_DOUBLE_EQ(st.percentile(0), -1.0);
+  st.add(2.0);
+  EXPECT_DOUBLE_EQ(st.percentile(100), 2.0);
+  EXPECT_EQ(st.count(), 1002u);
+
+  // Moments are untouched by the lazy reordering.
+  EXPECT_NEAR(st.mean(), st.sum() / 1002.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace dvc::sim

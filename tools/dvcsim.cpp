@@ -1,6 +1,12 @@
 // dvcsim — scenario-driven Dynamic Virtual Clustering simulator.
 //
-//   dvcsim <scenario-file>
+//   dvcsim <scenario-file> [--metrics-json=PATH] [--chrome-trace=PATH]
+//
+// --metrics-json writes every counter/gauge/histogram of the run as
+// deterministic JSON; --chrome-trace writes the sim-time span timeline in
+// Chrome trace_event format (open in chrome://tracing or Perfetto). Both
+// are also settable as scenario keys (metrics_json / chrome_trace); the
+// command line wins.
 //
 // A scenario file is `key = value` lines (# comments). Common keys:
 //
@@ -24,6 +30,8 @@
 //   migrate_at_s          [migrate] when to move the VC (default 60)
 //   live                  [migrate] pre-copy instead of LSC (default true)
 //   trace                 echo the machine room's event log (default true)
+//   metrics_json          metrics dump path ("" disables, default "")
+//   chrome_trace          Chrome trace path ("" disables, default "")
 //
 // Sample scenarios live in scenarios/.
 
@@ -107,6 +115,7 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
   sc->lsc = std::make_unique<ckpt::NtpLscCoordinator>(
       sc->room.sim, ckpt::NtpLscCoordinator::Config{},
       sim::Rng(sc->seed ^ 0xD5C));
+  sc->lsc->set_metrics(&sc->room.metrics);
   return sc;
 }
 
@@ -243,16 +252,57 @@ int run_migrate(Scenario& sc) {
   return (ok && !sc.application->failed()) ? 0 : 1;
 }
 
+/// Writes the run's telemetry to the requested files (empty path = skip).
+void export_telemetry(Scenario& sc, const std::string& metrics_path,
+                      const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) throw std::runtime_error("cannot write " + metrics_path);
+    sc.room.metrics.write_metrics_json(out);
+    std::printf("metrics:         %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) throw std::runtime_error("cannot write " + trace_path);
+    sc.room.metrics.write_chrome_trace(out);
+    std::printf("chrome trace:    %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <scenario-file>\n", argv[0]);
+  std::string scenario_path;
+  std::string metrics_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_path = arg.substr(15);
+    } else if (arg.rfind("--chrome-trace=", 0) == 0) {
+      trace_path = arg.substr(15);
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else if (scenario_path.empty()) {
+      scenario_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (scenario_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <scenario-file> [--metrics-json=PATH]"
+                 " [--chrome-trace=PATH]\n",
+                 argv[0]);
     return 2;
   }
-  std::ifstream file(argv[1]);
+  std::ifstream file(scenario_path);
   if (!file) {
-    std::fprintf(stderr, "cannot open scenario file: %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open scenario file: %s\n",
+                 scenario_path.c_str());
     return 2;
   }
   std::ostringstream text;
@@ -261,14 +311,36 @@ int main(int argc, char** argv) {
   try {
     const tools::ScenarioConfig cfg =
         tools::ScenarioConfig::parse(text.str());
+    cfg.validate_keys({
+        "experiment", "clusters", "nodes_per_cluster", "seed",
+        "store_write_mbps", "trace", "vc_size", "guest_ram_mib", "workload",
+        "iterations", "iter_seconds", "mtbf_per_node_s", "repair_s",
+        "predicted_fraction", "prediction_lead_s", "checkpoint_interval_s",
+        "incremental", "proactive", "migrate_at_s", "live", "metrics_json",
+        "chrome_trace",
+    });
+    if (metrics_path.empty()) {
+      metrics_path = cfg.get_string("metrics_json", "");
+    }
+    if (trace_path.empty()) {
+      trace_path = cfg.get_string("chrome_trace", "");
+    }
     auto sc = build(cfg);
     const std::string experiment =
         cfg.get_string("experiment", "reliability");
-    if (experiment == "reliability") return run_reliability(*sc);
-    if (experiment == "checkpoint") return run_checkpoint(*sc);
-    if (experiment == "migrate") return run_migrate(*sc);
-    std::fprintf(stderr, "unknown experiment: %s\n", experiment.c_str());
-    return 2;
+    int status = 2;
+    if (experiment == "reliability") {
+      status = run_reliability(*sc);
+    } else if (experiment == "checkpoint") {
+      status = run_checkpoint(*sc);
+    } else if (experiment == "migrate") {
+      status = run_migrate(*sc);
+    } else {
+      std::fprintf(stderr, "unknown experiment: %s\n", experiment.c_str());
+      return 2;
+    }
+    export_telemetry(*sc, metrics_path, trace_path);
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dvcsim: %s\n", e.what());
     return 2;

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -91,6 +93,20 @@ class ScenarioConfig final {
     if (v == "false" || v == "no" || v == "off" || v == "0") return false;
     throw std::invalid_argument("scenario key '" + key +
                                 "': not a boolean: " + v);
+  }
+
+  /// Rejects keys outside the caller's vocabulary, so a typo in a
+  /// scenario file fails loudly instead of silently falling back to a
+  /// default. Throws listing the first offending key.
+  void validate_keys(std::initializer_list<const char*> known) const {
+    const std::set<std::string, std::less<>> allowed(known.begin(),
+                                                     known.end());
+    for (const auto& [key, value] : values_) {
+      if (!allowed.contains(key)) {
+        throw std::invalid_argument("scenario key '" + key +
+                                    "' is not recognised");
+      }
+    }
   }
 
   [[nodiscard]] const std::map<std::string, std::string>& entries()
