@@ -9,9 +9,12 @@
 // duration to show the threshold.
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 
 #include "bench_util.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -27,10 +30,28 @@ struct Outcome {
   bool app_alive = false;
 };
 
-Outcome run(sim::Duration watchdog_period, int cycles) {
+Outcome run(sim::Duration watchdog_period, int cycles,
+            double disk_slow_factor = 0.0) {
   const std::uint32_t ranks = 4;
   core::MachineRoomOptions opt = paper_substrate(ranks, 66);
   core::MachineRoom room(opt);
+  // Optional injected disk slowdown (DVC_INJECT_FAULTS): a degraded store
+  // stretches each save, so freezes — and watchdog reports — grow.
+  std::optional<fault::FaultInjector> injector;
+  if (disk_slow_factor > 1.0) {
+    fault::FaultPlan plan;
+    fault::FaultEvent slow;
+    slow.kind = fault::FaultKind::kDiskSlow;
+    slow.at = 0;
+    slow.factor = disk_slow_factor;
+    slow.down_for = 100000 * sim::kSecond;  // outlasts every cycle
+    plan.add(slow);
+    injector.emplace(room.sim,
+                     fault::FaultInjector::Hooks{&room.fabric, &room.store,
+                                                 room.time.get()},
+                     &room.metrics);
+    injector->arm(plan);
+  }
   core::VcSpec spec;
   spec.size = ranks;
   spec.guest.ram_bytes = 1ull << 30;
@@ -93,6 +114,24 @@ int main(int argc, char** argv) {
                     {"app_alive", o.app_alive ? 1.0 : 0.0}};
     rows.push_back(std::move(row));
   }
+  // Opt-in fault-injection row: deliberately outside the default table so
+  // the fault-free output stays byte-stable across runs. An 8x disk
+  // slowdown stretches the ~46 s freeze to ~347 s, so the 60 s watchdog —
+  // quiet in the clean sweep — now trips on every cycle.
+  if (std::getenv("DVC_INJECT_FAULTS") != nullptr) {
+    const Outcome o = run(60 * sim::kSecond, /*cycles=*/5,
+                          /*disk_slow_factor=*/8.0);
+    table.add_row({"60 s + 8x disk slowdown", std::to_string(o.cycles),
+                   fmt(o.timeouts_per_vm, 1), fmt(o.kernel_msgs_per_vm, 1),
+                   fmt(o.freeze_s, 1), o.app_alive ? "yes" : "NO"});
+    MetricRow row;
+    row.name = "watchdog/period_s:60_diskslow_x8";
+    row.counters = {{"timeouts_per_vm", o.timeouts_per_vm},
+                    {"kernel_msgs_per_vm", o.kernel_msgs_per_vm},
+                    {"app_alive", o.app_alive ? 1.0 : 0.0}};
+    rows.push_back(std::move(row));
+  }
+
   table.print("T7  watchdog timeouts vs. watchdog period");
   std::printf("paper: one report per save/restore when the freeze exceeds\n"
               "the watchdog period; execution is unaffected either way.\n");

@@ -5,8 +5,12 @@
 #   ./ci.sh --sanitize  same, under AddressSanitizer + UBSan (separate
 #                       build tree, slower; catches lifetime/UB bugs the
 #                       plain build cannot)
+#   ./ci.sh --soak      the sanitizer build with -DDVC_SOAK=ON, running
+#                       only the widened seeded fault-soak sweep — the
+#                       randomized failure schedules where lifetime bugs
+#                       in the recovery paths actually surface
 #
-# Both modes exit non-zero on any build or test failure.
+# All modes exit non-zero on any build or test failure.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -28,11 +32,21 @@ case "${1:-}" in
       -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
       -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
     ;;
+  --soak)
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g"
+    cmake -B build-soak -S . \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DDVC_SOAK=ON \
+      -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+      -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+    cmake --build build-soak -j "$JOBS"
+    ctest --test-dir build-soak --output-on-failure -R 'FaultSoakTest'
+    ;;
   "")
     build_and_test build
     ;;
   *)
-    echo "usage: $0 [--sanitize]" >&2
+    echo "usage: $0 [--sanitize|--soak]" >&2
     exit 2
     ;;
 esac

@@ -27,11 +27,13 @@ RoundTracker::RoundTracker(sim::Simulation& sim,
   result_.set = set_;
   result_.attempts = attempt_no;
   result_.app_snapshots.resize(targets_.size());
+  pauses_at_fire_.resize(targets_.size(), 0);
   round_span_ = telemetry::begin_span(metrics_, sim_->now(), "lsc", "round");
 }
 
 void RoundTracker::fire(std::size_t i) {
   SaveTarget& t = targets_.at(i);
+  pauses_at_fire_[i] = t.machine->pauses();
   // The durable callback arrives long after the firing event has been
   // destroyed; it must own the round.
   t.hypervisor->save_domain(
@@ -60,24 +62,44 @@ void RoundTracker::on_member_durable(std::size_t i, bool ok,
       t.hypervisor->resume_domain(*t.machine);
     }
     telemetry::count(metrics_, "ckpt.lsc.members_saved");
-  } else {
-    any_failed_ = true;
+  } else if (t.machine->pauses() > pauses_at_fire_[i]) {
+    // The guest froze and then the save died (node failure mid-image):
+    // work was genuinely disturbed.
+    ++members_failed_;
     telemetry::count(metrics_, "ckpt.lsc.members_failed");
+    if (resume_after_save_) {
+      // A failed save must not leave a live guest frozen forever:
+      // resume_domain no-ops for dead nodes/domains, so this only thaws
+      // members that survived whatever killed the save.
+      t.hypervisor->resume_domain(*t.machine);
+    }
+  } else {
+    // The save aborted before the guest ever paused; the member kept
+    // running undisturbed. Conflating this with a failed save is what
+    // made every injected fault look like lost work.
+    ++members_aborted_;
+    telemetry::count(metrics_, "ckpt.lsc.members_aborted");
   }
   if (--outstanding_ == 0) finish();
 }
 
 void RoundTracker::finish() {
-  result_.ok = !any_failed_;
-  if (any_failed_) {
+  result_.ok = members_failed_ == 0 && members_aborted_ == 0;
+  result_.members_failed = members_failed_;
+  result_.members_aborted = members_aborted_;
+  if (!result_.ok) {
     images_->abort_set(set_);
+    // No durable member and no disturbed guest: the round was abandoned
+    // before any freeze — harmless, like a health-check abort.
+    result_.aborted_cleanly = members_failed_ == 0 && !saw_pause_;
   }
   if (saw_pause_) {
     result_.pause_skew = last_pause_ - first_pause_;
     result_.total_time = sim_->now() - first_pause_;
   }
-  telemetry::count(metrics_,
-                   result_.ok ? "ckpt.lsc.rounds" : "ckpt.lsc.rounds_failed");
+  telemetry::count(metrics_, result_.ok ? "ckpt.lsc.rounds"
+                   : result_.aborted_cleanly ? "ckpt.lsc.rounds_aborted"
+                                             : "ckpt.lsc.rounds_failed");
   if (saw_pause_ && metrics_ != nullptr) {
     metrics_->histogram("ckpt.lsc.pause_skew_s")
         .observe(sim::to_seconds(result_.pause_skew));
@@ -95,13 +117,109 @@ void RoundTracker::finish() {
 }
 
 // ---------------------------------------------------------------------------
+// LscCoordinator — retry/timeout orchestration shared by every trigger
+
+namespace {
+/// One-shot latch for a round: whichever of {completion, watchdog} wins
+/// settles the round; the loser is swallowed.
+struct RoundGate {
+  bool settled = false;
+  sim::EventId watchdog = sim::kInvalidEvent;
+};
+}  // namespace
+
+void LscCoordinator::checkpoint(std::string label,
+                                std::vector<SaveTarget> targets,
+                                storage::ImageManager& images,
+                                std::function<void(LscResult)> done,
+                                bool resume_after_save, Retarget retarget) {
+  run_round(std::move(label), std::move(targets), images, std::move(done),
+            resume_after_save, std::move(retarget), /*round_no=*/0,
+            retry_.backoff);
+}
+
+void LscCoordinator::run_round(std::string label,
+                               std::vector<SaveTarget> targets,
+                               storage::ImageManager& images,
+                               std::function<void(LscResult)> done,
+                               bool resume_after_save, Retarget retarget,
+                               int round_no, sim::Duration backoff) {
+  auto gate = std::make_shared<RoundGate>();
+  // Copies of label/targets/done survive in this closure so a failed round
+  // can be re-fired; with the default policy it reduces to done(result).
+  auto conclude = [this, gate, label, targets, &images, done,
+                   resume_after_save, retarget, round_no,
+                   backoff](LscResult r) {
+    if (gate->settled) {
+      // The watchdog already abandoned this round; the stragglers' real
+      // completion arrives here and must not reach the caller twice.
+      telemetry::count(metrics_, "ckpt.lsc.late_completions");
+      return;
+    }
+    gate->settled = true;
+    if (gate->watchdog != sim::kInvalidEvent) {
+      sim_->cancel(gate->watchdog);
+      gate->watchdog = sim::kInvalidEvent;
+    }
+    r.retries = round_no;
+    if (!r.ok && round_no < retry_.max_round_retries) {
+      telemetry::count(metrics_, "ckpt.lsc.round_retries");
+      telemetry::instant(metrics_, sim_->now(), "lsc", "round_retry");
+      const auto next = static_cast<sim::Duration>(
+          static_cast<double>(backoff) * retry_.backoff_factor);
+      sim_->schedule_after(backoff, [this, label, targets, &images, done,
+                                     resume_after_save, retarget, round_no,
+                                     next]() mutable {
+        // Re-resolve targets at fire time: the failure that sank the last
+        // round may have triggered a recovery that moved members to new
+        // nodes, and pausing a stale mapping freezes the survivors while
+        // the relocated member runs on — an asymmetry the app's transport
+        // retry budget cannot absorb.
+        std::vector<SaveTarget> fresh = std::move(targets);
+        if (retarget) {
+          std::optional<std::vector<SaveTarget>> r2 = retarget();
+          if (!r2.has_value()) {
+            telemetry::count(metrics_, "ckpt.lsc.retries_abandoned");
+            LscResult abandoned;
+            abandoned.aborted_cleanly = true;
+            abandoned.retries = round_no;
+            if (done) done(std::move(abandoned));
+            return;
+          }
+          fresh = std::move(*r2);
+        }
+        run_round(std::move(label), std::move(fresh), images,
+                  std::move(done), resume_after_save, std::move(retarget),
+                  round_no + 1, next);
+      });
+      return;
+    }
+    if (done) done(std::move(r));
+  };
+  if (retry_.round_timeout > 0) {
+    gate->watchdog =
+        sim_->schedule_after(retry_.round_timeout, [this, gate, conclude] {
+          if (gate->settled) return;
+          gate->watchdog = sim::kInvalidEvent;
+          telemetry::count(metrics_, "ckpt.lsc.round_timeouts");
+          telemetry::instant(metrics_, sim_->now(), "lsc", "round_timeout");
+          LscResult r;
+          r.timed_out = true;
+          conclude(std::move(r));
+        });
+  }
+  start_round(std::move(label), std::move(targets), images,
+              std::move(conclude), resume_after_save);
+}
+
+// ---------------------------------------------------------------------------
 // NaiveLscCoordinator
 
-void NaiveLscCoordinator::checkpoint(std::string label,
-                                     std::vector<SaveTarget> targets,
-                                     storage::ImageManager& images,
-                                     std::function<void(LscResult)> done,
-                                     bool resume_after_save) {
+void NaiveLscCoordinator::start_round(std::string label,
+                                      std::vector<SaveTarget> targets,
+                                      storage::ImageManager& images,
+                                      std::function<void(LscResult)> done,
+                                      bool resume_after_save) {
   if (targets.empty()) throw std::invalid_argument("no targets");
   auto round = std::make_shared<RoundTracker>(
       *sim_, std::move(targets), images, std::move(label), std::move(done),
@@ -121,11 +239,11 @@ void NaiveLscCoordinator::checkpoint(std::string label,
 // ---------------------------------------------------------------------------
 // NtpLscCoordinator
 
-void NtpLscCoordinator::checkpoint(std::string label,
-                                   std::vector<SaveTarget> targets,
-                                   storage::ImageManager& images,
-                                   std::function<void(LscResult)> done,
-                                   bool resume_after_save) {
+void NtpLscCoordinator::start_round(std::string label,
+                                    std::vector<SaveTarget> targets,
+                                    storage::ImageManager& images,
+                                    std::function<void(LscResult)> done,
+                                    bool resume_after_save) {
   if (targets.empty()) throw std::invalid_argument("no targets");
   for (const SaveTarget& t : targets) {
     if (t.clock == nullptr) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,9 +35,13 @@ struct SaveTarget {
 /// Outcome of one coordinated checkpoint attempt.
 struct LscResult {
   bool ok = false;  ///< every member image durable (set sealed)
-  /// Round abandoned before any guest froze (health check tripped);
-  /// distinct from a failed save: an aborted round is harmless.
+  /// Round abandoned before any guest froze (health check tripped, or
+  /// every save aborted pre-freeze); distinct from a failed save: an
+  /// aborted round is harmless.
   bool aborted_cleanly = false;
+  /// The round's watchdog expired before every member reported; the
+  /// stragglers' late completions are swallowed.
+  bool timed_out = false;
   storage::CheckpointSetId set = storage::kInvalidCheckpointSet;
   /// Spread between the first and the last guest freeze — the quantity
   /// that races the transport retry budget.
@@ -47,6 +52,11 @@ struct LscResult {
   /// hands these back to the restored guests.
   std::vector<std::any> app_snapshots;
   int attempts = 1;  ///< rounds used (health-checked retries)
+  int retries = 0;   ///< whole-round retries consumed (RetryPolicy)
+  /// Members whose guest froze but whose image never became durable (work
+  /// was disturbed) vs. members whose save aborted before the freeze.
+  int members_failed = 0;
+  int members_aborted = 0;
 };
 
 /// Coordinated whole-virtual-cluster checkpointing ("Lazy Synchronous
@@ -55,19 +65,48 @@ struct LscResult {
 /// only in how the simultaneous trigger is achieved.
 class LscCoordinator {
  public:
+  /// Whole-round failure handling, shared by every implementation. All
+  /// defaults are off, so a coordinator without an explicit policy behaves
+  /// exactly as before: one round, no watchdog, failures reported bare.
+  struct RetryPolicy {
+    /// Extra rounds attempted after a failed one (0 = report the bare
+    /// failure). Each retry asks the caller's `Retarget` hook for a fresh
+    /// target list (members may have been relocated by a recovery since
+    /// the round started); without a hook the original targets are
+    /// re-fired as-is.
+    int max_round_retries = 0;
+    /// Exponential backoff before each retry: first wait `backoff`, then
+    /// `backoff * backoff_factor`, and so on.
+    sim::Duration backoff = 2 * sim::kSecond;
+    double backoff_factor = 2.0;
+    /// Abandon a round whose members have not all reported within this
+    /// budget (0 = wait forever). A timed-out round reports (or retries
+    /// as) a failure; late straggler completions are counted and dropped.
+    sim::Duration round_timeout = 0;
+  };
+
+  /// Re-resolves the save targets for a retried round. A recovery may have
+  /// relocated members between attempts, leaving the original targets
+  /// pointing at dead hypervisors — retrying those pauses the survivors
+  /// while the relocated member runs free, the exact asymmetry LSC exists
+  /// to avoid. Returning nullopt abandons the remaining retries (e.g. a
+  /// recovery is mid-flight and will re-checkpoint on its own schedule).
+  using Retarget =
+      std::function<std::optional<std::vector<SaveTarget>>()>;
+
   virtual ~LscCoordinator() = default;
 
   /// Runs one coordinated checkpoint of `targets`. Every VM is resumed as
   /// soon as its own image is durable (stop-and-copy). `done` fires when
-  /// the set seals or the attempt is abandoned.
+  /// the set seals or the attempt is abandoned — after exhausting the
+  /// retry policy, if one is set.
   /// `resume_after_save` selects stop-and-copy-and-continue (true, the
   /// checkpointing case) or save-and-hold (false, the migration case: the
   /// frozen domains are about to move, so nobody thaws them here).
-  virtual void checkpoint(std::string label,
-                          std::vector<SaveTarget> targets,
-                          storage::ImageManager& images,
-                          std::function<void(LscResult)> done,
-                          bool resume_after_save = true) = 0;
+  void checkpoint(std::string label, std::vector<SaveTarget> targets,
+                  storage::ImageManager& images,
+                  std::function<void(LscResult)> done,
+                  bool resume_after_save = true, Retarget retarget = nullptr);
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
@@ -75,8 +114,32 @@ class LscCoordinator {
   /// "lsc" timeline track; skew and duration land in `ckpt.lsc.*`.
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
+  void set_retry_policy(RetryPolicy p) noexcept { retry_ = p; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return retry_;
+  }
+
  protected:
+  explicit LscCoordinator(sim::Simulation& sim) noexcept : sim_(&sim) {}
+
+  /// One coordinated round (implementation-specific trigger). `done` must
+  /// be invoked exactly once with the round's outcome.
+  virtual void start_round(std::string label,
+                           std::vector<SaveTarget> targets,
+                           storage::ImageManager& images,
+                           std::function<void(LscResult)> done,
+                           bool resume_after_save) = 0;
+
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  sim::Simulation* sim_;
+
+ private:
+  void run_round(std::string label, std::vector<SaveTarget> targets,
+                 storage::ImageManager& images,
+                 std::function<void(LscResult)> done, bool resume_after_save,
+                 Retarget retarget, int round_no, sim::Duration backoff);
+
+  RetryPolicy retry_{};
 };
 
 /// The paper's first prototype (§3.1 "Naive approach"): one program opens a
@@ -104,17 +167,17 @@ class NaiveLscCoordinator final : public LscCoordinator {
   };
 
   NaiveLscCoordinator(sim::Simulation& sim, Config cfg, sim::Rng rng)
-      : sim_(&sim), cfg_(cfg), rng_(rng) {}
-
-  void checkpoint(std::string label, std::vector<SaveTarget> targets,
-                  storage::ImageManager& images,
-                  std::function<void(LscResult)> done,
-                  bool resume_after_save = true) override;
+      : LscCoordinator(sim), cfg_(cfg), rng_(rng) {}
 
   [[nodiscard]] std::string_view name() const override { return "naive"; }
 
+ protected:
+  void start_round(std::string label, std::vector<SaveTarget> targets,
+                   storage::ImageManager& images,
+                   std::function<void(LscResult)> done,
+                   bool resume_after_save) override;
+
  private:
-  sim::Simulation* sim_;
   Config cfg_;
   sim::Rng rng_;
 };
@@ -151,21 +214,21 @@ class NtpLscCoordinator final : public LscCoordinator {
   };
 
   NtpLscCoordinator(sim::Simulation& sim, Config cfg, sim::Rng rng)
-      : sim_(&sim), cfg_(cfg), rng_(rng) {}
-
-  void checkpoint(std::string label, std::vector<SaveTarget> targets,
-                  storage::ImageManager& images,
-                  std::function<void(LscResult)> done,
-                  bool resume_after_save = true) override;
+      : LscCoordinator(sim), cfg_(cfg), rng_(rng) {}
 
   [[nodiscard]] std::string_view name() const override { return "ntp"; }
+
+ protected:
+  void start_round(std::string label, std::vector<SaveTarget> targets,
+                   storage::ImageManager& images,
+                   std::function<void(LscResult)> done,
+                   bool resume_after_save) override;
 
  private:
   void attempt(std::string label, std::vector<SaveTarget> targets,
                storage::ImageManager& images, int attempt_no,
                std::function<void(LscResult)> done, bool resume_after_save);
 
-  sim::Simulation* sim_;
   Config cfg_;
   sim::Rng rng_;
 };
@@ -202,7 +265,12 @@ class RoundTracker final
   LscResult result_;
   std::size_t outstanding_;
   bool resume_after_save_;
-  bool any_failed_ = false;
+  /// Failed-save split: a member whose guest froze before its save died
+  /// lost real work; one whose save aborted pre-freeze cost nothing. The
+  /// pause counter recorded at fire() time tells the two apart.
+  int members_failed_ = 0;
+  int members_aborted_ = 0;
+  std::vector<std::uint64_t> pauses_at_fire_;
   sim::Time first_pause_ = 0;
   sim::Time last_pause_ = 0;
   bool saw_pause_ = false;

@@ -146,6 +146,37 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
   for (auto& t : targets) t.incremental = can_increment;
   const auto span =
       telemetry::begin_span(metrics_, sim_->now(), "dvc", "checkpoint");
+  const VcId id = vc.id();
+  // Retried rounds must not re-fire the targets captured above: the
+  // failure that sank the previous round may have relocated members, and
+  // a stale mapping pauses the survivors while the moved member runs on.
+  // Re-resolve from the live placement — or abandon the retry entirely
+  // while a member is dead or a recovery is rewinding the cluster.
+  auto retarget = [this, id,
+                   incremental]() -> std::optional<
+                                      std::vector<ckpt::SaveTarget>> {
+    const auto it = vcs_.find(id);
+    if (it == vcs_.end()) return std::nullopt;
+    VcRuntime& rt = it->second;
+    if (rt.recovery_in_flight || rt.vc->state_ == VcState::kRecovering ||
+        rt.vc->state_ == VcState::kDestroyed) {
+      return std::nullopt;
+    }
+    for (std::uint32_t i = 0; i < rt.vc->size(); ++i) {
+      const hw::NodeId n = rt.vc->placement(i);
+      if (n == hw::kInvalidNode || fabric_->node(n).failed() ||
+          rt.vc->machine(i).state() == vm::DomainState::kDead) {
+        return std::nullopt;  // still degraded; recovery owns this now
+      }
+    }
+    std::vector<ckpt::SaveTarget> fresh = save_targets(*rt.vc);
+    bool can_inc = incremental;
+    for (std::uint32_t i = 0; i < rt.vc->size(); ++i) {
+      can_inc = can_inc && rt.vc->machine(i).has_image_baseline();
+    }
+    for (auto& t : fresh) t.incremental = can_inc;
+    return fresh;
+  };
   lsc.checkpoint(
       vc.checkpoint_label(), std::move(targets), *images_,
       [this, &vc, can_increment, span,
@@ -157,6 +188,25 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
           vc.state_ = VcState::kRunning;
         }
         if (r.ok) {
+          const auto rit = vcs_.find(vc.id());
+          app::ParallelApp* app =
+              rit != vcs_.end() ? rit->second.app : nullptr;
+          if (app != nullptr && app->failed()) {
+            // The set sealed around an application that had already
+            // reported transport failure: its ranks may be wedged
+            // mid-exchange with messages neither delivered nor pending
+            // retransmission. Restoring such an image resurrects the
+            // wedge, so quarantine the set and keep the previous
+            // recovery point.
+            images_->discard_set(r.set);
+            telemetry::count(metrics_, "core.dvc.checkpoints_quarantined");
+            sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+                       "vc#" + std::to_string(vc.id()) +
+                           " checkpoint quarantined (app failed)");
+            r.ok = false;
+            if (cb) cb(std::move(r));
+            return;
+          }
           ++checkpoints_;
           sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
                      "vc#" + std::to_string(vc.id()) + " checkpoint " +
@@ -173,7 +223,8 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
           }
         }
         if (cb) cb(std::move(r));
-      });
+      },
+      /*resume_after_save=*/true, std::move(retarget));
 }
 
 void DvcManager::restore_vc(VirtualCluster& vc,
@@ -429,6 +480,7 @@ void DvcManager::enable_auto_recovery(VirtualCluster& vc,
                   });
   });
   schedule_periodic_checkpoint(vc.id());
+  schedule_member_watchdog(vc.id());
 }
 
 void DvcManager::disable_auto_recovery(VirtualCluster& vc) {
@@ -472,6 +524,56 @@ void DvcManager::schedule_periodic_checkpoint(VcId id) {
   });
 }
 
+void DvcManager::schedule_member_watchdog(VcId id) {
+  const auto it = vcs_.find(id);
+  if (it == vcs_.end() || !it->second.policy ||
+      it->second.policy->watchdog_interval <= 0) {
+    return;
+  }
+  // A daemon, like the checkpoint loop: supervision must not keep an
+  // otherwise-finished run alive.
+  sim_->schedule_daemon_after(it->second.policy->watchdog_interval,
+                              [this, id] {
+    const auto rit = vcs_.find(id);
+    if (rit == vcs_.end() || !rit->second.policy) return;
+    VcRuntime& rt = rit->second;
+    if (!rt.recovery_in_flight && rt.vc->has_checkpoint() &&
+        rt.vc->state_ != VcState::kDestroyed &&
+        rt.vc->state_ != VcState::kRecovering) {
+      bool member_dead = false;
+      for (std::uint32_t i = 0; i < rt.vc->size(); ++i) {
+        const hw::NodeId n = rt.vc->placement(i);
+        if (rt.vc->machine(i).state() == vm::DomainState::kDead ||
+            n == hw::kInvalidNode || fabric_->node(n).failed()) {
+          member_dead = true;
+          break;
+        }
+      }
+      // An application-level abort (a rank's transport gave up) with every
+      // member nominally alive: nothing else in the failure feed will ever
+      // fire, so the watchdog is the only path back to the checkpoint.
+      const bool app_failed = rt.app != nullptr && rt.app->failed() &&
+                              !rt.app->completed();
+      // Never roll back a finished job, even with a dead member: the
+      // results are in, only idle guests would be resurrected.
+      const bool job_live = rt.app == nullptr || !rt.app->completed();
+      if ((member_dead && job_live) || app_failed) {
+        ++watchdog_detections_;
+        telemetry::count(metrics_, "core.dvc.watchdog_detections");
+        telemetry::instant(metrics_, sim_->now(), "dvc", "watchdog_detect");
+        sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+                   "vc#" + std::to_string(id) +
+                       (member_dead ? " watchdog: dead member,"
+                                    : " watchdog: application failure,") +
+                       " restoring from last checkpoint");
+        rt.recovery_in_flight = true;
+        recover(rt);
+      }
+    }
+    schedule_member_watchdog(id);
+  });
+}
+
 void DvcManager::on_node_failure(hw::NodeId node) {
   const auto cit = claimed_.find(node);
   if (cit == claimed_.end()) return;
@@ -482,6 +584,9 @@ void DvcManager::on_node_failure(hw::NodeId node) {
   if (!rt.policy || rt.recovery_in_flight || !rt.vc->has_checkpoint()) {
     return;
   }
+  // A finished job has nothing left to protect: rolling it back would
+  // resurrect ranks just to redo work whose results already exist.
+  if (rt.app != nullptr && rt.app->completed()) return;
   rt.recovery_in_flight = true;
   sim_->schedule_after(kFailureDetectionDelay, [this, id] {
     const auto rit = vcs_.find(id);

@@ -133,6 +133,12 @@ class DvcManager final {
     /// failure when hardware faults can be predicted"). Evacuation loses
     /// no work; reactive recovery loses up to one checkpoint interval.
     bool proactive_migration = false;
+    /// Periodic liveness sweep over the VC's members (0 = disabled). The
+    /// failure feed covers node death; the watchdog additionally catches a
+    /// member VM that died without its node failing (guest crash, killed
+    /// domain) and any failure the feed-triggered recovery missed, and
+    /// restores the whole VC from its last complete checkpoint.
+    sim::Duration watchdog_interval = 0;
   };
 
   /// Arms periodic checkpointing and automatic failure recovery for a VC.
@@ -159,6 +165,10 @@ class DvcManager final {
   }
   [[nodiscard]] std::uint64_t evacuations_performed() const noexcept {
     return evacuations_;
+  }
+  /// Dead members first noticed by the watchdog sweep (not the feed).
+  [[nodiscard]] std::uint64_t watchdog_detections() const noexcept {
+    return watchdog_detections_;
   }
   [[nodiscard]] storage::ImageManager& images() noexcept { return *images_; }
   [[nodiscard]] hw::Fabric& fabric() noexcept { return *fabric_; }
@@ -197,6 +207,7 @@ class DvcManager final {
   void on_failure_prediction(hw::NodeId node, sim::Duration lead);
   void recover(VcRuntime& rt);
   void schedule_periodic_checkpoint(VcId id);
+  void schedule_member_watchdog(VcId id);
 
   sim::Simulation* sim_;
   hw::Fabric* fabric_;
@@ -211,6 +222,7 @@ class DvcManager final {
   std::uint64_t migrations_ = 0;
   std::uint64_t evacuations_ = 0;
   std::uint64_t live_migrations_ = 0;
+  std::uint64_t watchdog_detections_ = 0;
   sim::TraceLog* trace_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
 };

@@ -1,0 +1,187 @@
+#include "fault/fault_injector.hpp"
+
+#include <string>
+
+namespace dvc::fault {
+
+namespace {
+constexpr std::string_view kTrack = "fault";
+
+std::string counter_name(const char* stem, FaultKind k) {
+  return std::string(stem) + "." + std::string(to_string(k));
+}
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulation& sim, Hooks hooks,
+                             telemetry::MetricsRegistry* metrics)
+    : sim_(&sim), hooks_(hooks), metrics_(metrics) {
+  if (hooks_.store != nullptr) {
+    disk_write_base_ = hooks_.store->write_pool().capacity_bps();
+    disk_read_base_ = hooks_.store->read_pool().capacity_bps();
+  }
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultEvent& e : plan.schedule()) {
+    // Daemon events: a fault schedule must not keep a finished job alive.
+    sim_->schedule_daemon_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+std::uint64_t FaultInjector::pair_key(std::uint32_t a,
+                                      std::uint32_t b) noexcept {
+  const std::uint32_t lo = a < b ? a : b;
+  const std::uint32_t hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void FaultInjector::skip(const FaultEvent& e) {
+  ++skipped_total_;
+  telemetry::count(metrics_, "fault.skipped");
+  telemetry::count(metrics_, counter_name("fault.skipped", e.kind));
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kNodeCrash: {
+      if (hooks_.fabric == nullptr ||
+          e.node >= hooks_.fabric->node_count() ||
+          hooks_.fabric->node(e.node).failed()) {
+        skip(e);
+        return;
+      }
+      hooks_.fabric->fail_node(e.node);
+      if (e.down_for > 0) {
+        sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
+      }
+      break;
+    }
+    case FaultKind::kLinkDown: {
+      if (hooks_.fabric == nullptr || e.cluster_a == e.cluster_b) {
+        skip(e);
+        return;
+      }
+      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
+      ++pairs_[key].down_depth;
+      refresh_pair(key);
+      sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
+      break;
+    }
+    case FaultKind::kLinkDegrade: {
+      if (hooks_.fabric == nullptr || e.cluster_a == e.cluster_b) {
+        skip(e);
+        return;
+      }
+      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
+      pairs_[key].degrades.emplace_back(e.loss, e.latency_factor);
+      refresh_pair(key);
+      sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
+      break;
+    }
+    case FaultKind::kDiskSlow: {
+      if (hooks_.store == nullptr || e.factor < 1.0) {
+        skip(e);
+        return;
+      }
+      ++disk_factors_[e.factor];
+      refresh_disk();
+      sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
+      break;
+    }
+    case FaultKind::kClockStep: {
+      if (hooks_.time == nullptr || e.node >= hooks_.time->size()) {
+        skip(e);
+        return;
+      }
+      hooks_.time->clock(e.node).apply_correction(e.clock_step);
+      break;
+    }
+  }
+  ++injected_total_;
+  ++injected_[static_cast<std::size_t>(e.kind)];
+  telemetry::count(metrics_, "fault.injected");
+  telemetry::count(metrics_, counter_name("fault.injected", e.kind));
+  telemetry::instant(metrics_, sim_->now(), kTrack, to_string(e.kind));
+}
+
+void FaultInjector::lift(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kNodeCrash:
+      if (hooks_.fabric != nullptr && e.node < hooks_.fabric->node_count() &&
+          hooks_.fabric->node(e.node).failed()) {
+        hooks_.fabric->repair_node(e.node);
+      }
+      break;
+    case FaultKind::kLinkDown: {
+      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
+      auto it = pairs_.find(key);
+      if (it != pairs_.end() && it->second.down_depth > 0) {
+        --it->second.down_depth;
+        refresh_pair(key);
+      }
+      break;
+    }
+    case FaultKind::kLinkDegrade: {
+      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
+      auto it = pairs_.find(key);
+      if (it != pairs_.end()) {
+        auto& ds = it->second.degrades;
+        for (auto d = ds.begin(); d != ds.end(); ++d) {
+          if (d->first == e.loss && d->second == e.latency_factor) {
+            ds.erase(d);
+            break;
+          }
+        }
+        refresh_pair(key);
+      }
+      break;
+    }
+    case FaultKind::kDiskSlow: {
+      auto it = disk_factors_.find(e.factor);
+      if (it != disk_factors_.end() && --it->second == 0) {
+        disk_factors_.erase(it);
+      }
+      refresh_disk();
+      break;
+    }
+    case FaultKind::kClockStep:
+      return;  // instantaneous, nothing to lift
+  }
+  ++lifted_total_;
+  telemetry::count(metrics_, "fault.lifted");
+  telemetry::count(metrics_, counter_name("fault.lifted", e.kind));
+  telemetry::instant(metrics_, sim_->now(), kTrack,
+                     std::string(to_string(e.kind)) + "_lifted");
+}
+
+void FaultInjector::refresh_pair(std::uint64_t key) {
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) return;
+  const auto a = static_cast<std::uint32_t>(key >> 32);
+  const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+  net::ClusterLinkModel& links = hooks_.fabric->links();
+  const PairState& st = it->second;
+  if (st.down_depth > 0) {
+    links.set_pair_override(a, b, net::ClusterLinkModel::PairOverride{
+                                      /*cut=*/true, 0.0, 1.0});
+  } else if (!st.degrades.empty()) {
+    const auto& [loss, lat] = st.degrades.back();
+    links.set_pair_override(
+        a, b, net::ClusterLinkModel::PairOverride{false, loss, lat});
+  } else {
+    links.clear_pair_override(a, b);
+    pairs_.erase(it);
+  }
+}
+
+void FaultInjector::refresh_disk() {
+  if (hooks_.store == nullptr) return;
+  // Concurrent slowdowns do not stack multiplicatively; the store runs at
+  // the worst (largest) active factor, like a degraded RAID rebuilding.
+  const double factor =
+      disk_factors_.empty() ? 1.0 : disk_factors_.rbegin()->first;
+  hooks_.store->write_pool().set_capacity(disk_write_base_ / factor);
+  hooks_.store->read_pool().set_capacity(disk_read_base_ / factor);
+}
+
+}  // namespace dvc::fault

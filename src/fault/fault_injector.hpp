@@ -1,0 +1,90 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "clocksync/ntp.hpp"
+#include "fault/fault_plan.hpp"
+#include "hw/cluster.hpp"
+#include "sim/simulation.hpp"
+#include "storage/shared_store.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dvc::fault {
+
+/// Executes a FaultPlan against a live machine room: schedules every event
+/// on the simulation's queue (as daemons, so an armed plan never keeps an
+/// otherwise-finished run alive), applies it to the targeted subsystem,
+/// and lifts temporary faults when their duration elapses.
+///
+/// Overlapping faults nest: a link pair stays cut while any kLinkDown is
+/// active on it; the store runs at the *worst* active slowdown; a repaired
+/// node can be re-crashed. Every injection lands in `fault.*` counters and
+/// on the "fault" timeline track.
+class FaultInjector final {
+ public:
+  /// Targets; any pointer may be null, in which case events needing it
+  /// are counted as skipped instead of applied.
+  struct Hooks {
+    hw::Fabric* fabric = nullptr;
+    storage::SharedStore* store = nullptr;
+    clocksync::ClusterTimeService* time = nullptr;
+  };
+
+  FaultInjector(sim::Simulation& sim, Hooks hooks,
+                telemetry::MetricsRegistry* metrics = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of `plan`. May be called more than once; plans
+  /// accumulate.
+  void arm(const FaultPlan& plan);
+
+  [[nodiscard]] std::uint64_t injected_total() const noexcept {
+    return injected_total_;
+  }
+  [[nodiscard]] std::uint64_t injected(FaultKind k) const noexcept {
+    return injected_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t lifted_total() const noexcept {
+    return lifted_total_;
+  }
+  /// Events that could not be applied (missing hook, bad target id,
+  /// crash of an already-dead node).
+  [[nodiscard]] std::uint64_t skipped_total() const noexcept {
+    return skipped_total_;
+  }
+
+ private:
+  struct PairState {
+    int down_depth = 0;
+    /// Active degrade parameters, newest last (newest wins while no cut
+    /// is active).
+    std::vector<std::pair<double, double>> degrades;  ///< (loss, lat_factor)
+  };
+
+  void apply(const FaultEvent& e);
+  void lift(const FaultEvent& e);
+  void skip(const FaultEvent& e);
+  void refresh_pair(std::uint64_t key);
+  void refresh_disk();
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
+                                              std::uint32_t b) noexcept;
+
+  sim::Simulation* sim_;
+  Hooks hooks_;
+  telemetry::MetricsRegistry* metrics_;
+  std::map<std::uint64_t, PairState> pairs_;
+  std::map<double, int> disk_factors_;  ///< active slowdown factor -> depth
+  double disk_write_base_ = 0.0;
+  double disk_read_base_ = 0.0;
+  std::uint64_t injected_total_ = 0;
+  std::uint64_t lifted_total_ = 0;
+  std::uint64_t skipped_total_ = 0;
+  std::array<std::uint64_t, 5> injected_{};
+};
+
+}  // namespace dvc::fault

@@ -1,0 +1,199 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvc::fault {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kDiskSlow:
+      return "disk_slow";
+    case FaultKind::kClockStep:
+      return "clock_step";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void bad_entry(const std::string& entry, const char* why) {
+  throw std::invalid_argument("fault script entry '" + entry + "': " + why);
+}
+
+double parse_num(const std::string& entry, const std::string& tok,
+                 const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    bad_entry(entry, what);
+  }
+}
+
+std::uint32_t parse_id(const std::string& entry, const std::string& tok,
+                       const char* what) {
+  const double v = parse_num(entry, tok, what);
+  if (v < 0 || v != static_cast<double>(static_cast<std::uint32_t>(v))) {
+    bad_entry(entry, what);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+sim::Duration seconds(double s) {
+  return static_cast<sim::Duration>(s * sim::kSecond);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse_script(const std::string& text) {
+  FaultPlan plan;
+  std::string normal = text;
+  std::replace(normal.begin(), normal.end(), '\n', ';');
+  std::istringstream entries(normal);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    std::istringstream in(entry);
+    std::vector<std::string> tok;
+    std::string t;
+    while (in >> t) tok.push_back(t);
+    if (tok.empty()) continue;  // empty entry (trailing ';', blank line)
+    if (tok.size() < 2) bad_entry(entry, "expected <time_s> <verb> ...");
+    const double at_s = parse_num(entry, tok[0], "bad time");
+    if (at_s < 0) bad_entry(entry, "negative time");
+    FaultEvent e;
+    e.at = seconds(at_s);
+    const std::string& verb = tok[1];
+    if (verb == "crash") {
+      if (tok.size() != 3 && tok.size() != 4) {
+        bad_entry(entry, "crash takes <node> [down_s]");
+      }
+      e.kind = FaultKind::kNodeCrash;
+      e.node = parse_id(entry, tok[2], "bad node id");
+      if (tok.size() == 4) {
+        e.down_for = seconds(parse_num(entry, tok[3], "bad down_s"));
+      }
+    } else if (verb == "linkdown") {
+      if (tok.size() != 5) {
+        bad_entry(entry, "linkdown takes <clusterA> <clusterB> <for_s>");
+      }
+      e.kind = FaultKind::kLinkDown;
+      e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
+      e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
+      e.down_for = seconds(parse_num(entry, tok[4], "bad for_s"));
+    } else if (verb == "degrade") {
+      if (tok.size() != 7) {
+        bad_entry(entry,
+                  "degrade takes <cA> <cB> <loss> <lat_factor> <for_s>");
+      }
+      e.kind = FaultKind::kLinkDegrade;
+      e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
+      e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
+      e.loss = parse_num(entry, tok[4], "bad loss");
+      e.latency_factor = parse_num(entry, tok[5], "bad latency factor");
+      e.down_for = seconds(parse_num(entry, tok[6], "bad for_s"));
+      if (e.loss < 0.0 || e.loss > 1.0) bad_entry(entry, "loss not in [0,1]");
+      if (e.latency_factor < 1.0) bad_entry(entry, "latency factor < 1");
+    } else if (verb == "diskslow") {
+      if (tok.size() != 4) bad_entry(entry, "diskslow takes <factor> <for_s>");
+      e.kind = FaultKind::kDiskSlow;
+      e.factor = parse_num(entry, tok[2], "bad factor");
+      e.down_for = seconds(parse_num(entry, tok[3], "bad for_s"));
+      if (e.factor < 1.0) bad_entry(entry, "factor < 1");
+    } else if (verb == "clockstep") {
+      if (tok.size() != 4) bad_entry(entry, "clockstep takes <node> <ms>");
+      e.kind = FaultKind::kClockStep;
+      e.node = parse_id(entry, tok[2], "bad node id");
+      e.clock_step = static_cast<sim::Duration>(
+          parse_num(entry, tok[3], "bad ms") * sim::kMillisecond);
+    } else {
+      bad_entry(entry, "unknown verb");
+    }
+    plan.events_.push_back(e);
+  }
+  return plan;
+}
+
+void FaultPlan::sample(const StochasticFaults& spec, std::uint32_t node_count,
+                       std::uint32_t cluster_count, sim::Rng rng) {
+  if (spec.horizon <= 0) return;
+  // Each process walks its own exponential arrival sequence with a forked
+  // child generator; fixed salts keep the processes independent of each
+  // other and of the caller's stream.
+  const auto arrivals = [&](sim::Rng& r, sim::Duration mtbf,
+                            auto&& make_event) {
+    if (mtbf <= 0) return;
+    sim::Time t = 0;
+    for (;;) {
+      t += r.exponential_duration(mtbf);
+      if (t > spec.horizon) break;
+      make_event(r, t);
+    }
+  };
+
+  sim::Rng crash_rng = rng.fork(0xC4A5);
+  arrivals(crash_rng, spec.node_crash_mtbf, [&](sim::Rng& r, sim::Time t) {
+    if (node_count == 0) return;
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kNodeCrash;
+    e.node = static_cast<std::uint32_t>(r.below(node_count));
+    e.down_for = spec.node_down_for;
+    events_.push_back(e);
+  });
+
+  sim::Rng link_rng = rng.fork(0x114C);
+  arrivals(link_rng, spec.link_down_mtbf, [&](sim::Rng& r, sim::Time t) {
+    if (cluster_count < 2) return;
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kLinkDown;
+    e.cluster_a = static_cast<std::uint32_t>(r.below(cluster_count));
+    e.cluster_b = static_cast<std::uint32_t>(r.below(cluster_count - 1));
+    if (e.cluster_b >= e.cluster_a) ++e.cluster_b;  // distinct pair
+    e.down_for = spec.link_down_for;
+    events_.push_back(e);
+  });
+
+  sim::Rng disk_rng = rng.fork(0xD15C);
+  arrivals(disk_rng, spec.disk_slow_mtbf, [&](sim::Rng&, sim::Time t) {
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kDiskSlow;
+    e.factor = spec.disk_slow_factor;
+    e.down_for = spec.disk_slow_for;
+    events_.push_back(e);
+  });
+
+  sim::Rng clock_rng = rng.fork(0xC10C);
+  arrivals(clock_rng, spec.clock_step_mtbf, [&](sim::Rng& r, sim::Time t) {
+    if (node_count == 0) return;
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kClockStep;
+    e.node = static_cast<std::uint32_t>(r.below(node_count));
+    const double max = static_cast<double>(spec.clock_step_max);
+    e.clock_step = static_cast<sim::Duration>(r.uniform(-max, max));
+    events_.push_back(e);
+  });
+}
+
+std::vector<FaultEvent> FaultPlan::schedule() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+}  // namespace dvc::fault

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dvc::fault {
+
+/// The kinds of failure the injector can visit on a machine room. A node
+/// reboot is a crash with a non-zero `down_for`; everything else with a
+/// duration lifts itself when the duration elapses.
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,   ///< fail a physical node (repair after `down_for` if set)
+  kLinkDown,    ///< cut the link between two physical clusters
+  kLinkDegrade, ///< add loss and inflate latency between two clusters
+  kDiskSlow,    ///< divide the shared store's bandwidth by `factor`
+  kClockStep,   ///< step one host's wall clock by `clock_step`
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+/// One scheduled fault. Which fields matter depends on `kind`; unused
+/// fields keep their defaults.
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::uint32_t node = 0;       ///< crash / clock-step target
+  std::uint32_t cluster_a = 0;  ///< link faults: one side
+  std::uint32_t cluster_b = 0;  ///< link faults: other side
+  /// Crash: time until repair (0 = permanent). Link/disk faults: time
+  /// until the fault lifts.
+  sim::Duration down_for = 0;
+  double loss = 1.0;            ///< degrade: added drop probability
+  double latency_factor = 1.0;  ///< degrade: latency multiplier
+  double factor = 1.0;          ///< disk slowdown divisor (>= 1)
+  sim::Duration clock_step = 0; ///< signed phase step
+};
+
+/// Rates for the stochastic half of a plan: independent memoryless
+/// (exponential) processes, one per fault class, sampled over a fixed
+/// horizon. A process with mtbf 0 is disabled.
+struct StochasticFaults {
+  sim::Duration horizon = 0;  ///< sampling window (0 disables everything)
+  sim::Duration node_crash_mtbf = 0;  ///< mean gap between crashes
+  sim::Duration node_down_for = 0;    ///< reboot time (0 = stays dead)
+  sim::Duration link_down_mtbf = 0;
+  sim::Duration link_down_for = 30 * sim::kSecond;
+  sim::Duration disk_slow_mtbf = 0;
+  sim::Duration disk_slow_for = 60 * sim::kSecond;
+  double disk_slow_factor = 10.0;
+  sim::Duration clock_step_mtbf = 0;
+  sim::Duration clock_step_max = 500 * sim::kMillisecond;
+};
+
+/// A deterministic schedule of faults: explicit scripted events plus
+/// pre-sampled stochastic processes. Sampling happens up front with a
+/// caller-supplied Rng, so the same seed always yields the same event
+/// sequence regardless of what the simulation does in between — the
+/// property the soak suite asserts.
+class FaultPlan final {
+ public:
+  /// Appends one explicit event.
+  void add(FaultEvent e) { events_.push_back(e); }
+
+  /// Parses a fault script. Entries are separated by ';' or newlines;
+  /// each entry is `<time_s> <verb> <args...>` with verbs:
+  ///   crash <node> [down_s]                    node crash (reboot if down_s)
+  ///   linkdown <clusterA> <clusterB> <for_s>   cut an inter-cluster link
+  ///   degrade <cA> <cB> <loss> <lat_x> <for_s> lossy/slow inter-cluster link
+  ///   diskslow <factor> <for_s>                shared-store bandwidth / factor
+  ///   clockstep <node> <ms>                    step a host clock (ms, signed)
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse_script(const std::string& text);
+
+  /// Samples the stochastic processes over `spec.horizon` and appends the
+  /// resulting events. Each process forks its own child Rng, so enabling
+  /// one process never perturbs another's sequence.
+  void sample(const StochasticFaults& spec, std::uint32_t node_count,
+              std::uint32_t cluster_count, sim::Rng rng);
+
+  /// All events ordered by time (ties keep insertion order).
+  [[nodiscard]] std::vector<FaultEvent> schedule() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace dvc::fault

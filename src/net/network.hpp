@@ -73,6 +73,12 @@ class LinkModel {
 
   /// Link bandwidth in bytes per second (serialisation delay component).
   [[nodiscard]] virtual double bandwidth_bps(HostId src, HostId dst) = 0;
+
+  /// Declares which physical cluster a host belongs to. Topology-blind
+  /// models ignore this; tiered models use it to pick the right tier (and
+  /// to apply fault-injector pair overrides) for guest vNICs, which are
+  /// allocated after the physical hosts and follow their VM around.
+  virtual void set_cluster(HostId /*host*/, std::uint32_t /*cluster*/) {}
 };
 
 /// Uniform fabric: every pair of hosts sees the same base latency, jitter,
@@ -119,36 +125,80 @@ class ClusterLinkModel final : public LinkModel {
     Tier inter{1 * sim::kMillisecond, 300 * sim::kMicrosecond, 0.0, 12.5e6};
   };
 
+  /// Transient fault state for one cluster pair (set by the fault
+  /// injector): a cut link drops everything; a degraded one adds loss and
+  /// inflates latency. Cleared when the fault lifts.
+  struct PairOverride {
+    bool cut = false;
+    double extra_loss = 0.0;
+    double latency_factor = 1.0;
+  };
+
   explicit ClusterLinkModel(Config cfg) noexcept : cfg_(cfg) {}
 
   /// Declares which cluster a host belongs to (default: cluster 0).
-  void set_cluster(HostId host, std::uint32_t cluster) {
+  void set_cluster(HostId host, std::uint32_t cluster) override {
     cluster_of_[host] = cluster;
+  }
+  [[nodiscard]] std::uint32_t cluster_of(HostId host) const {
+    const auto it = cluster_of_.find(host);
+    return it == cluster_of_.end() ? 0 : it->second;
+  }
+
+  void set_pair_override(std::uint32_t cluster_a, std::uint32_t cluster_b,
+                         PairOverride o) {
+    overrides_[pair_key(cluster_a, cluster_b)] = o;
+  }
+  void clear_pair_override(std::uint32_t cluster_a, std::uint32_t cluster_b) {
+    overrides_.erase(pair_key(cluster_a, cluster_b));
   }
 
   [[nodiscard]] sim::Duration latency(HostId src, HostId dst,
                                       sim::Rng& rng) override {
     const Tier& t = tier(src, dst);
-    return t.base_latency + rng.exponential_duration(t.jitter);
+    sim::Duration d = t.base_latency + rng.exponential_duration(t.jitter);
+    if (const PairOverride* o = find_override(src, dst)) {
+      d = static_cast<sim::Duration>(static_cast<double>(d) *
+                                     o->latency_factor);
+    }
+    return d;
   }
   [[nodiscard]] double loss_probability(HostId src, HostId dst) override {
-    return tier(src, dst).loss;
+    double loss = tier(src, dst).loss;
+    if (const PairOverride* o = find_override(src, dst)) {
+      if (o->cut) return 1.0;
+      loss = loss + o->extra_loss;
+      if (loss > 1.0) loss = 1.0;
+    }
+    return loss;
   }
   [[nodiscard]] double bandwidth_bps(HostId src, HostId dst) override {
     return tier(src, dst).bandwidth_bps;
   }
 
  private:
+  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
+                                              std::uint32_t b) noexcept {
+    const std::uint32_t lo = a < b ? a : b;
+    const std::uint32_t hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
   [[nodiscard]] const Tier& tier(HostId src, HostId dst) const {
-    const auto a = cluster_of_.find(src);
-    const auto b = cluster_of_.find(dst);
-    const std::uint32_t ca = a == cluster_of_.end() ? 0 : a->second;
-    const std::uint32_t cb = b == cluster_of_.end() ? 0 : b->second;
-    return ca == cb ? cfg_.intra : cfg_.inter;
+    return cluster_of(src) == cluster_of(dst) ? cfg_.intra : cfg_.inter;
+  }
+
+  [[nodiscard]] const PairOverride* find_override(HostId src,
+                                                  HostId dst) const {
+    if (overrides_.empty()) return nullptr;
+    const auto it =
+        overrides_.find(pair_key(cluster_of(src), cluster_of(dst)));
+    return it == overrides_.end() ? nullptr : &it->second;
   }
 
   Config cfg_;
   std::unordered_map<HostId, std::uint32_t> cluster_of_;
+  std::unordered_map<std::uint64_t, PairOverride> overrides_;
 };
 
 /// Receives packets addressed to an attached endpoint.

@@ -101,6 +101,9 @@ void ReliableEndpoint::on_timer() {
   ++retries_;
   ++retransmissions_;
   telemetry::count(net_->metrics(), "net.endpoint.retransmissions");
+  if (cfg_.stall_threshold > 0 && retries_ >= cfg_.stall_threshold) {
+    set_stalled(true);
+  }
   // Retransmit the oldest unacknowledged message, back off, re-arm.
   const auto& [seq, m] = *unacked_.begin();
   transmit(seq, m);
@@ -108,6 +111,18 @@ void ReliableEndpoint::on_timer() {
       static_cast<sim::Duration>(static_cast<double>(rto_) * cfg_.backoff),
       cfg_.max_rto);
   arm_timer();
+}
+
+void ReliableEndpoint::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (stalled) {
+    ++stalls_reported_;
+    telemetry::count(net_->metrics(), "net.endpoint.stalled");
+  } else {
+    telemetry::count(net_->metrics(), "net.endpoint.stall_recoveries");
+  }
+  if (on_stall_) on_stall_(stalled);
 }
 
 void ReliableEndpoint::fail(std::string_view reason) {
@@ -153,6 +168,7 @@ void ReliableEndpoint::restore(const TransportSnapshot& snap,
   retries_ = 0;
   rto_ = cfg_.initial_rto;
   parked_ = false;
+  stalled_ = false;  // the restored guest's TCP stack never saw the stall
   if (timer_ != sim::kInvalidEvent) {
     sim_->cancel(timer_);
     timer_ = sim::kInvalidEvent;
@@ -175,6 +191,7 @@ void ReliableEndpoint::on_packet(const Packet& p) {
       // Forward progress: reset the backoff schedule.
       retries_ = 0;
       rto_ = cfg_.initial_rto;
+      set_stalled(false);
       if (timer_ != sim::kInvalidEvent) {
         sim_->cancel(timer_);
         timer_ = sim::kInvalidEvent;

@@ -46,6 +46,12 @@ struct ReliableConfig {
   /// retransmission timer firing — models the saved guest's nearly-expired
   /// TCP timers going off shortly after restore.
   sim::Duration thaw_retransmit_delay = 10 * sim::kMillisecond;
+  /// Consecutive retransmissions of the same segment after which the
+  /// endpoint *reports* a stall (link down / peer unreachable) through the
+  /// stall handler, long before the retry budget aborts the connection.
+  /// 0 disables the report; the retransmission behaviour itself never
+  /// changes.
+  int stall_threshold = 0;
 
   /// Total time a sender will keep retrying before aborting, assuming the
   /// peer never answers: sum of the backed-off RTO schedule.
@@ -79,6 +85,9 @@ class ReliableEndpoint final : public PacketSink {
 
   using DeliveryHandler = std::function<void(const Message&)>;
   using FailureHandler = std::function<void(std::string_view reason)>;
+  /// Stall notifications: `stalled=true` when stall_threshold consecutive
+  /// retransmissions go unanswered, `false` when the peer answers again.
+  using StallHandler = std::function<void(bool stalled)>;
 
   ReliableEndpoint(sim::Simulation& sim, Network& net, Address local,
                    Address peer, ReliableConfig cfg = {});
@@ -91,6 +100,8 @@ class ReliableEndpoint final : public PacketSink {
   void set_delivery_handler(DeliveryHandler h) { on_delivery_ = std::move(h); }
   /// Called once if the connection aborts (retry budget exhausted).
   void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
+  /// Called on stall onset and recovery (needs cfg.stall_threshold > 0).
+  void set_stall_handler(StallHandler h) { on_stall_ = std::move(h); }
 
   /// Queues a message for reliable in-order delivery to the peer.
   /// Returns the message id. No-op (returns 0) after failure.
@@ -102,6 +113,13 @@ class ReliableEndpoint final : public PacketSink {
   }
   [[nodiscard]] std::size_t unacked() const noexcept {
     return unacked_.size();
+  }
+  /// True while retransmissions of the oldest segment have gone unanswered
+  /// `stall_threshold` or more times in a row — a visible "link down or
+  /// peer frozen" signal instead of silent loss.
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
+  [[nodiscard]] std::uint64_t stalls_reported() const noexcept {
+    return stalls_reported_;
   }
 
   [[nodiscard]] std::uint64_t messages_sent() const noexcept {
@@ -144,6 +162,7 @@ class ReliableEndpoint final : public PacketSink {
   void on_timer();
   void on_host_state(bool up);
   void fail(std::string_view reason);
+  void set_stalled(bool stalled);
 
   sim::Simulation* sim_;
   Network* net_;
@@ -169,9 +188,12 @@ class ReliableEndpoint final : public PacketSink {
   std::uint64_t delivered_count_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t retransmissions_ = 0;
+  bool stalled_ = false;
+  std::uint64_t stalls_reported_ = 0;
 
   DeliveryHandler on_delivery_;
   FailureHandler on_failure_;
+  StallHandler on_stall_;
 };
 
 /// A full-duplex reliable connection between two addresses: a convenience

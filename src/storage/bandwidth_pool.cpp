@@ -51,6 +51,13 @@ bool BandwidthPool::cancel(TransferId id) {
   return erased;
 }
 
+void BandwidthPool::set_capacity(double bytes_per_second) {
+  if (bytes_per_second <= 0.0 || bytes_per_second == bps_) return;
+  settle();  // bank progress at the old rate first
+  bps_ = bytes_per_second;
+  reschedule();
+}
+
 void BandwidthPool::settle() {
   const sim::Time now = sim_->now();
   if (!transfers_.empty() && now > last_settle_) {

@@ -34,6 +34,11 @@ class BandwidthPool final {
   /// Cancels an in-flight transfer (no callback). Returns true if found.
   bool cancel(TransferId id);
 
+  /// Changes the pool's aggregate capacity mid-run (disk-slowdown fault
+  /// injection / recovery). In-flight transfers keep the progress already
+  /// made and continue at the new rate.
+  void set_capacity(double bytes_per_second);
+
   [[nodiscard]] std::size_t active() const noexcept {
     return transfers_.size();
   }

@@ -73,6 +73,20 @@ void ImageManager::abort_set(CheckpointSetId set) {
   telemetry::count(metrics_, "storage.images.sets_aborted");
 }
 
+std::uint64_t ImageManager::discard_set(CheckpointSetId set) {
+  auto it = sets_.find(set);
+  if (it == sets_.end()) return 0;
+  std::uint64_t reclaimed = 0;
+  for (const auto& m : it->second.members) {
+    reclaimed += m.bytes;
+    store_->remove_object(m.object);
+  }
+  seal_callbacks_.erase(set);
+  sets_.erase(it);
+  telemetry::count(metrics_, "storage.images.sets_discarded");
+  return reclaimed;
+}
+
 void ImageManager::on_sealed(CheckpointSetId set, std::function<void()> fn) {
   const auto it = sets_.find(set);
   if (it != sets_.end() && it->second.sealed) {

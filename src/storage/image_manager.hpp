@@ -75,6 +75,12 @@ class ImageManager final {
   /// never seal and their images are garbage-collected.
   void abort_set(CheckpointSetId set);
 
+  /// Permanently removes a set, sealed or not, reclaiming its bytes.
+  /// Unlike abort_set this also takes sealed sets — used to quarantine a
+  /// checkpoint whose application image is known-bad (keeping it would let
+  /// prune() push the last good recovery point out of the keep window).
+  std::uint64_t discard_set(CheckpointSetId set);
+
   /// Registers a callback fired when the set seals (all members durable).
   void on_sealed(CheckpointSetId set, std::function<void()> fn);
 

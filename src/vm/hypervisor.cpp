@@ -43,6 +43,17 @@ void Hypervisor::boot_domain(VirtualMachine& vm,
                        });
 }
 
+void Hypervisor::finish_save(std::uint64_t op_id,
+                             const std::shared_ptr<SaveOp>& op, bool ok,
+                             std::any state) {
+  inflight_saves_.erase(op_id);
+  if (op->finished) return;
+  op->finished = true;
+  telemetry::end_span(metrics_, op->span, sim_->now());
+  if (!ok) telemetry::count(metrics_, "vm.hypervisor.save_failures");
+  if (op->cb) op->cb(ok, std::move(state));
+}
+
 void Hypervisor::save_domain(VirtualMachine& vm,
                              storage::ImageManager& images,
                              storage::CheckpointSetId set,
@@ -50,14 +61,16 @@ void Hypervisor::save_domain(VirtualMachine& vm,
                              std::function<void(bool, std::any)> on_durable,
                              bool incremental) {
   const sim::Time begin = sim_->now();
-  const auto span = telemetry::begin_span(metrics_, begin, track_, "save");
+  auto op = std::make_shared<SaveOp>();
+  op->cb = std::move(on_durable);
+  op->span = telemetry::begin_span(metrics_, begin, track_, "save");
+  const std::uint64_t op_id = next_save_op_++;
+  if (cfg_.abort_saves_on_failure) inflight_saves_.emplace(op_id, op);
   sim_->schedule_after(cmd_latency(), [this, &vm, &images, set, member,
-                                       incremental, begin, span,
-                                       cb = std::move(on_durable)] {
+                                       incremental, begin, op, op_id] {
+    if (op->finished) return;  // aborted by node death
     if (node_failed() || vm.state() == DomainState::kDead) {
-      telemetry::count(metrics_, "vm.hypervisor.save_failures");
-      telemetry::end_span(metrics_, span, sim_->now());
-      if (cb) cb(false, std::any{});
+      finish_save(op_id, op, false, std::any{});
       return;
     }
     vm.pause();
@@ -78,22 +91,20 @@ void Hypervisor::save_domain(VirtualMachine& vm,
             : vm.config().ram_bytes;
     sim_->schedule_after(
         cfg_.save_overhead,
-        [this, &vm, &images, set, member, image_bytes, begin, span,
-         state = std::move(app_state), cb = std::move(cb)] {
+        [this, &vm, &images, set, member, image_bytes, begin, op, op_id,
+         state = std::move(app_state)] {
+          if (op->finished) return;
           if (node_failed() || vm.state() == DomainState::kDead) {
-            telemetry::count(metrics_, "vm.hypervisor.save_failures");
-            telemetry::end_span(metrics_, span, sim_->now());
-            if (cb) cb(false, std::any{});
+            finish_save(op_id, op, false, std::any{});
             return;
           }
           images.add_member(
               set, member, image_bytes,
-              [this, &vm, image_bytes, begin, span,
-               state = std::move(state), cb = std::move(cb)] {
-                telemetry::end_span(metrics_, span, sim_->now());
+              [this, &vm, image_bytes, begin, op, op_id,
+               state = std::move(state)] {
+                if (op->finished) return;
                 if (vm.state() == DomainState::kDead) {
-                  telemetry::count(metrics_, "vm.hypervisor.save_failures");
-                  if (cb) cb(false, std::any{});
+                  finish_save(op_id, op, false, std::any{});
                   return;
                 }
                 vm.mark_saved();
@@ -104,7 +115,7 @@ void Hypervisor::save_domain(VirtualMachine& vm,
                                  image_bytes);
                 telemetry::observe(metrics_, "vm.hypervisor.save_s",
                                    sim::to_seconds(sim_->now() - begin));
-                if (cb) cb(true, std::move(state));
+                finish_save(op_id, op, true, std::move(state));
               });
         });
   });
@@ -211,6 +222,22 @@ void Hypervisor::on_node_failure() {
     telemetry::instant(metrics_, sim_->now(), track_, "node_failure");
   }
   for (VirtualMachine* vm : residents) vm->kill();
+  // Report every in-flight save as failed right now instead of waiting
+  // for its next stage boundary; the coordinator learns of the dead round
+  // immediately and can retry or trigger recovery.
+  if (!inflight_saves_.empty()) {
+    const auto ops = std::move(inflight_saves_);
+    inflight_saves_.clear();
+    for (const auto& [id, op] : ops) {
+      if (op->finished) continue;
+      op->finished = true;
+      ++saves_aborted_;
+      telemetry::count(metrics_, "vm.hypervisor.saves_aborted");
+      telemetry::count(metrics_, "vm.hypervisor.save_failures");
+      telemetry::end_span(metrics_, op->span, sim_->now());
+      if (op->cb) op->cb(false, std::any{});
+    }
+  }
 }
 
 HypervisorFleet::HypervisorFleet(sim::Simulation& sim, hw::Fabric& fabric,

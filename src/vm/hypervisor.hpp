@@ -3,6 +3,7 @@
 #include <any>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +32,12 @@ class Hypervisor final {
     sim::Duration restore_overhead = 200 * sim::kMillisecond;
     /// Local `xm save` command-processing latency (exponential mean).
     sim::Duration cmd_latency_mean = 2 * sim::kMillisecond;
+    /// Fail in-flight save operations the instant this node dies, instead
+    /// of letting each discover the failure at its next stage boundary
+    /// (or, worst case, hang inside a store transfer that no longer has a
+    /// client). Off by default: the happy-path benches never notice, and
+    /// coordinators relying on prompt failure reports opt in.
+    bool abort_saves_on_failure = false;
   };
 
   Hypervisor(sim::Simulation& sim, hw::Fabric& fabric, hw::NodeId node,
@@ -91,6 +98,11 @@ class Hypervisor final {
   [[nodiscard]] std::uint64_t restores_completed() const noexcept {
     return restores_completed_;
   }
+  /// In-flight saves cut short by node death (only ever non-zero with
+  /// Config::abort_saves_on_failure).
+  [[nodiscard]] std::uint64_t saves_aborted() const noexcept {
+    return saves_aborted_;
+  }
 
   /// Kills every resident domain; wired to the fabric's failure feed.
   void on_node_failure();
@@ -101,7 +113,19 @@ class Hypervisor final {
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
  private:
+  /// Shared state of one in-flight save: stage continuations consult
+  /// `finished` so an abort delivered from on_node_failure() wins the race
+  /// against whatever stage was pending.
+  struct SaveOp {
+    bool finished = false;
+    std::function<void(bool, std::any)> cb;
+    telemetry::MetricsRegistry::SpanId span =
+        telemetry::MetricsRegistry::kInvalidSpan;
+  };
+
   [[nodiscard]] sim::Duration cmd_latency();
+  void finish_save(std::uint64_t op_id, const std::shared_ptr<SaveOp>& op,
+                   bool ok, std::any state);
 
   sim::Simulation* sim_;
   hw::Fabric* fabric_;
@@ -109,8 +133,11 @@ class Hypervisor final {
   Config cfg_;
   sim::Rng rng_;
   std::unordered_set<VirtualMachine*> residents_;
+  std::map<std::uint64_t, std::shared_ptr<SaveOp>> inflight_saves_;
+  std::uint64_t next_save_op_ = 1;
   std::uint64_t saves_completed_ = 0;
   std::uint64_t restores_completed_ = 0;
+  std::uint64_t saves_aborted_ = 0;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   std::string track_;  ///< timeline track name ("vm/node<N>")
 };

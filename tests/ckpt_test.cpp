@@ -168,8 +168,9 @@ app::WorkloadSpec steady_ptrans(app::RankId ranks, std::uint32_t iters) {
 struct LscFixture {
   explicit LscFixture(std::uint32_t nodes, std::uint64_t guest_ram,
                       net::ReliableConfig transport = {},
-                      std::uint64_t seed = 42, double store_bps = 400e6)
-      : bed(make_options(nodes, seed, store_bps)) {
+                      std::uint64_t seed = 42, double store_bps = 400e6,
+                      bool abort_saves_on_failure = false)
+      : bed(make_options(nodes, seed, store_bps, abort_saves_on_failure)) {
     core::VcSpec spec;
     spec.name = "test-vc";
     spec.size = nodes;
@@ -185,13 +186,14 @@ struct LscFixture {
   }
 
   static TestBed::Options make_options(std::uint32_t nodes,
-                                       std::uint64_t seed,
-                                       double store_bps) {
+                                       std::uint64_t seed, double store_bps,
+                                       bool abort_saves_on_failure = false) {
     TestBed::Options o;
     o.nodes_per_cluster = nodes;
     o.seed = seed;
     o.store.write_bps = store_bps;
     o.store.read_bps = 2 * store_bps;
+    o.hv.abort_saves_on_failure = abort_saves_on_failure;
     return o;
   }
 
@@ -442,6 +444,121 @@ TEST(NtpLscTest, HealthCheckAbortsCleanlyInsteadOfCrashing) {
   EXPECT_FALSE(f.application->failed());
   for (std::uint32_t i = 0; i < 8; ++i) {
     EXPECT_TRUE(f.vc->machine(i).running());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-outcome split: a save rejected before its guest froze is an
+// *aborted* member (nothing disturbed), a save that froze the guest and
+// then died is a *failed* member (work was lost). The two must never be
+// conflated — recovery treats them differently.
+
+TEST(NtpLscTest, PreFreezeRejectionsAreAbortedMembersNotFailures) {
+  LscFixture f(4, 64ull << 20);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(3));
+  lsc.set_metrics(&f.bed.metrics);
+  // Member 2's node dies before the round fires: its hypervisor rejects
+  // the save outright, before any pause command reaches the guest.
+  f.bed.sim.schedule_after(4 * sim::kSecond, [&] {
+    f.bed.fabric.fail_node(f.vc->placement(2));
+  });
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    lsc.checkpoint("split", f.bed.dvc->save_targets(*f.vc), f.bed.images,
+                   [&](LscResult r) { result = std::move(r); });
+  });
+  f.bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->members_aborted, 1);
+  EXPECT_EQ(result->members_failed, 0);
+  // The healthy members did freeze, so the round is not a clean abort.
+  EXPECT_FALSE(result->aborted_cleanly);
+  EXPECT_EQ(f.bed.metrics.counter_value("ckpt.lsc.members_aborted"), 1u);
+  EXPECT_EQ(f.bed.metrics.counter_value("ckpt.lsc.members_failed"), 0u);
+}
+
+TEST(NtpLscTest, WholeRoundRejectedPreFreezeIsACleanAbort) {
+  LscFixture f(4, 64ull << 20);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(3));
+  lsc.set_metrics(&f.bed.metrics);
+  f.bed.sim.schedule_after(4 * sim::kSecond, [&] {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      f.bed.fabric.fail_node(f.vc->placement(i));
+    }
+  });
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    lsc.checkpoint("all-gone", f.bed.dvc->save_targets(*f.vc), f.bed.images,
+                   [&](LscResult r) { result = std::move(r); });
+  });
+  f.bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->members_aborted, 4);
+  EXPECT_EQ(result->members_failed, 0);
+  // No guest froze at all: clean abort, no work disturbed by the round.
+  EXPECT_TRUE(result->aborted_cleanly);
+}
+
+TEST(NtpLscTest, MidSaveCrashIsAFailedMemberAndSurvivorsThaw) {
+  // Slow store (4 x 128 MiB at 100 MB/s ~ 5.4 s of writes) so the crash
+  // lands while images are streaming; in-flight saves abort on node death.
+  LscFixture f(4, 128ull << 20, {}, /*seed=*/42, /*store_bps=*/100e6,
+               /*abort_saves_on_failure=*/true);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(3));
+  lsc.set_metrics(&f.bed.metrics);
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    lsc.checkpoint("mid-save", f.bed.dvc->save_targets(*f.vc), f.bed.images,
+                   [&](LscResult r) { result = std::move(r); });
+  });
+  // The NTP lead is ~2 s, so guests freeze around t=7 s; kill member 1's
+  // node two seconds into the write phase.
+  f.bed.sim.schedule_after(9 * sim::kSecond, [&] {
+    f.bed.fabric.fail_node(f.vc->placement(1));
+  });
+  f.bed.sim.run_until(60 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_EQ(result->members_failed, 1);
+  EXPECT_EQ(result->members_aborted, 0);
+  EXPECT_FALSE(result->aborted_cleanly);
+  EXPECT_EQ(f.bed.metrics.counter_value("ckpt.lsc.members_failed"), 1u);
+  // The survivors' guests were resumed after their own saves completed —
+  // a failed round must not leave live guests frozen forever.
+  for (std::uint32_t i : {0u, 2u, 3u}) {
+    EXPECT_TRUE(f.vc->machine(i).running()) << "member " << i;
+  }
+  EXPECT_EQ(f.vc->machine(1).state(), vm::DomainState::kDead);
+}
+
+TEST(NtpLscTest, RoundTimeoutReportsStragglersAsLateCompletions) {
+  // 4 x 128 MiB at 50 MB/s ~ 10.7 s of writes against a 6 s round budget.
+  LscFixture f(4, 128ull << 20, {}, /*seed=*/42, /*store_bps=*/50e6);
+  NtpLscCoordinator lsc(f.bed.sim, {}, sim::Rng(3));
+  lsc.set_metrics(&f.bed.metrics);
+  LscCoordinator::RetryPolicy retry;
+  retry.round_timeout = 6 * sim::kSecond;
+  lsc.set_retry_policy(retry);
+  std::optional<LscResult> result;
+  f.bed.sim.schedule_after(5 * sim::kSecond, [&] {
+    lsc.checkpoint("slow", f.bed.dvc->save_targets(*f.vc), f.bed.images,
+                   [&](LscResult r) { result = std::move(r); });
+  });
+  // The fixture has already run to 20 s; the round fires at 25 s and its
+  // watchdog at 31 s, well before the ~35 s the writes need.
+  f.bed.sim.run_until(32 * sim::kSecond);
+  ASSERT_TRUE(result.has_value());  // the watchdog fired, not the saves
+  EXPECT_FALSE(result->ok);
+  EXPECT_TRUE(result->timed_out);
+  EXPECT_EQ(f.bed.metrics.counter_value("ckpt.lsc.round_timeouts"), 1u);
+  // The stragglers eventually finish; their completions are counted but
+  // swallowed, and their guests are thawed.
+  f.bed.sim.run_until(60 * sim::kSecond);
+  EXPECT_GE(f.bed.metrics.counter_value("ckpt.lsc.late_completions"), 1u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(f.vc->machine(i).running()) << "member " << i;
   }
 }
 

@@ -33,6 +33,30 @@
 //   metrics_json          metrics dump path ("" disables, default "")
 //   chrome_trace          Chrome trace path ("" disables, default "")
 //
+// Fault-injection keys (all off by default; see src/fault/):
+//
+//   fault.enabled           master switch for the injector (default false)
+//   fault.seed              RNG seed for stochastic faults (default: seed)
+//   fault.script            scripted events, FaultPlan::parse_script grammar
+//   fault.horizon_s         stochastic sampling window (0 disables)
+//   fault.node_crash_mtbf_s mean gap between injected node crashes
+//   fault.node_down_s       reboot time after a crash (0 = stays dead)
+//   fault.link_down_mtbf_s  mean gap between inter-cluster link cuts
+//   fault.link_down_s       duration of each link cut (default 30)
+//   fault.disk_slow_mtbf_s  mean gap between store slowdowns
+//   fault.disk_slow_s       duration of each slowdown (default 60)
+//   fault.disk_slow_factor  bandwidth divisor while slowed (default 10)
+//   fault.clock_step_mtbf_s mean gap between host clock steps
+//   fault.clock_step_ms     max |step| in milliseconds (default 500)
+//
+// Recovery-tuning keys:
+//
+//   lsc.round_timeout_s     abort an LSC round after this long (0 = never)
+//   lsc.max_round_retries   re-attempt failed/timed-out rounds (default 0)
+//   lsc.retry_backoff_s     first retry delay, doubles per retry (default 2)
+//   watchdog_interval_s     [reliability] member liveness sweep (0 = off)
+//   abort_saves_on_failure  fail in-flight saves on node death (default false)
+//
 // Sample scenarios live in scenarios/.
 
 #include <cstdio>
@@ -46,6 +70,7 @@
 #include "ckpt/interval.hpp"
 #include "ckpt/lsc.hpp"
 #include "core/machine_room.hpp"
+#include "fault/fault_injector.hpp"
 #include "tools/scenario_config.hpp"
 
 using namespace dvc;  // NOLINT — CLI brevity
@@ -58,6 +83,7 @@ struct Scenario {
   core::VirtualCluster* vc = nullptr;
   std::unique_ptr<app::ParallelApp> application;
   std::unique_ptr<ckpt::NtpLscCoordinator> lsc;
+  std::unique_ptr<fault::FaultInjector> injector;
   std::uint64_t seed = 42;
 };
 
@@ -70,13 +96,15 @@ core::MachineRoomOptions room_options(const tools::ScenarioConfig& cfg) {
   const double write_mbps = cfg.get_double("store_write_mbps", 100.0);
   o.store.write_bps = write_mbps * 1e6;
   o.store.read_bps = 2 * write_mbps * 1e6;
+  o.hv.abort_saves_on_failure =
+      cfg.get_bool("abort_saves_on_failure", false);
   return o;
 }
 
 std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
   auto sc = std::unique_ptr<Scenario>(new Scenario{
       cfg, core::MachineRoom(room_options(cfg)), nullptr, nullptr, nullptr,
-      static_cast<std::uint64_t>(cfg.get_int("seed", 42))});
+      nullptr, static_cast<std::uint64_t>(cfg.get_int("seed", 42))});
   if (cfg.get_bool("trace", true)) {
     sc->room.trace.set_echo(true);
     sc->room.trace.set_min_level(sim::TraceLevel::kInfo);
@@ -116,7 +144,61 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
       sc->room.sim, ckpt::NtpLscCoordinator::Config{},
       sim::Rng(sc->seed ^ 0xD5C));
   sc->lsc->set_metrics(&sc->room.metrics);
+  ckpt::LscCoordinator::RetryPolicy retry;
+  retry.round_timeout =
+      sim::from_seconds(cfg.get_double("lsc.round_timeout_s", 0.0));
+  retry.max_round_retries =
+      static_cast<int>(cfg.get_int("lsc.max_round_retries", 0));
+  retry.backoff =
+      sim::from_seconds(cfg.get_double("lsc.retry_backoff_s", 2.0));
+  sc->lsc->set_retry_policy(retry);
   return sc;
+}
+
+/// Builds the fault plan out of `fault.*` keys and arms it (no-op unless
+/// fault.enabled). Scripted events and stochastic processes accumulate in
+/// one plan; sampling is pinned to fault.seed, so the schedule is the same
+/// for every run of a scenario file regardless of what the room does.
+void arm_faults(Scenario& sc) {
+  if (!sc.cfg.get_bool("fault.enabled", false)) return;
+  fault::FaultPlan plan;
+  const std::string script = sc.cfg.get_string("fault.script", "");
+  if (!script.empty()) plan = fault::FaultPlan::parse_script(script);
+  fault::StochasticFaults spec;
+  spec.horizon =
+      sim::from_seconds(sc.cfg.get_double("fault.horizon_s", 0.0));
+  spec.node_crash_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.node_crash_mtbf_s", 0.0));
+  spec.node_down_for =
+      sim::from_seconds(sc.cfg.get_double("fault.node_down_s", 0.0));
+  spec.link_down_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.link_down_mtbf_s", 0.0));
+  spec.link_down_for =
+      sim::from_seconds(sc.cfg.get_double("fault.link_down_s", 30.0));
+  spec.disk_slow_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.disk_slow_mtbf_s", 0.0));
+  spec.disk_slow_for =
+      sim::from_seconds(sc.cfg.get_double("fault.disk_slow_s", 60.0));
+  spec.disk_slow_factor = sc.cfg.get_double("fault.disk_slow_factor", 10.0);
+  spec.clock_step_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.clock_step_mtbf_s", 0.0));
+  spec.clock_step_max = static_cast<sim::Duration>(
+      sc.cfg.get_double("fault.clock_step_ms", 500.0) * sim::kMillisecond);
+  if (spec.horizon > 0) {
+    const auto fault_seed = static_cast<std::uint64_t>(sc.cfg.get_int(
+        "fault.seed", static_cast<std::int64_t>(sc.seed)));
+    plan.sample(spec,
+                static_cast<std::uint32_t>(sc.room.fabric.node_count()),
+                static_cast<std::uint32_t>(sc.room.fabric.cluster_count()),
+                sim::Rng(fault_seed));
+  }
+  sc.injector = std::make_unique<fault::FaultInjector>(
+      sc.room.sim,
+      fault::FaultInjector::Hooks{&sc.room.fabric, &sc.room.store,
+                                  sc.room.time.get()},
+      &sc.room.metrics);
+  sc.injector->arm(plan);
+  std::printf("fault injector:  %zu events armed\n", plan.size());
 }
 
 void arm_failures(Scenario& sc) {
@@ -138,7 +220,10 @@ void print_summary(Scenario& sc) {
   const app::JobStats st = sc.application->stats();
   std::printf("\n==== dvcsim summary ====\n");
   std::printf("completed:       %s\n",
-              sc.application->completed() ? "yes" : "no (open-ended run)");
+              sc.application->completed()
+                  ? "yes"
+                  : (sc.application->failed() ? "no (job FAILED)"
+                                              : "no (open-ended run)"));
   if (sc.application->completed()) {
     std::printf("wall time:       %.0f s\n", st.makespan_s);
   } else {
@@ -169,6 +254,23 @@ void print_summary(Scenario& sc) {
                   sc.room.dvc->migrations_performed()),
               static_cast<unsigned long long>(
                   sc.room.dvc->live_migrations_performed()));
+  if (sc.injector != nullptr) {
+    std::printf("faults injected: %llu (%llu lifted, %llu skipped)\n",
+                static_cast<unsigned long long>(
+                    sc.injector->injected_total()),
+                static_cast<unsigned long long>(sc.injector->lifted_total()),
+                static_cast<unsigned long long>(
+                    sc.injector->skipped_total()));
+    std::printf("lsc retries:     %llu (%llu timeouts)   watchdog hits:"
+                " %llu\n",
+                static_cast<unsigned long long>(
+                    sc.room.metrics.counter_value("ckpt.lsc.round_retries")),
+                static_cast<unsigned long long>(
+                    sc.room.metrics.counter_value(
+                        "ckpt.lsc.round_timeouts")),
+                static_cast<unsigned long long>(
+                    sc.room.dvc->watchdog_detections()));
+  }
 }
 
 int run_reliability(Scenario& sc) {
@@ -178,6 +280,8 @@ int run_reliability(Scenario& sc) {
       sc.cfg.get_double("checkpoint_interval_s", 300.0));
   policy.incremental = sc.cfg.get_bool("incremental", false);
   policy.proactive_migration = sc.cfg.get_bool("proactive", false);
+  policy.watchdog_interval =
+      sim::from_seconds(sc.cfg.get_double("watchdog_interval_s", 0.0));
   sc.room.dvc->enable_auto_recovery(*sc.vc, policy);
   arm_failures(sc);
 
@@ -317,7 +421,14 @@ int main(int argc, char** argv) {
         "iterations", "iter_seconds", "mtbf_per_node_s", "repair_s",
         "predicted_fraction", "prediction_lead_s", "checkpoint_interval_s",
         "incremental", "proactive", "migrate_at_s", "live", "metrics_json",
-        "chrome_trace",
+        "chrome_trace", "fault.enabled", "fault.seed", "fault.script",
+        "fault.horizon_s", "fault.node_crash_mtbf_s", "fault.node_down_s",
+        "fault.link_down_mtbf_s", "fault.link_down_s",
+        "fault.disk_slow_mtbf_s", "fault.disk_slow_s",
+        "fault.disk_slow_factor", "fault.clock_step_mtbf_s",
+        "fault.clock_step_ms", "lsc.round_timeout_s",
+        "lsc.max_round_retries", "lsc.retry_backoff_s",
+        "watchdog_interval_s", "abort_saves_on_failure",
     });
     if (metrics_path.empty()) {
       metrics_path = cfg.get_string("metrics_json", "");
@@ -326,6 +437,7 @@ int main(int argc, char** argv) {
       trace_path = cfg.get_string("chrome_trace", "");
     }
     auto sc = build(cfg);
+    arm_faults(*sc);
     const std::string experiment =
         cfg.get_string("experiment", "reliability");
     int status = 2;
