@@ -46,6 +46,9 @@ struct Outcome {
   std::uint64_t recoveries = 0;   // restarts or rollbacks
   double wasted_compute_s = 0.0;  // redone work, per rank (max)
   double ckpt_overhead = 0.0;     // checkpoints taken
+  std::uint64_t verify_failures = 0;  // damaged images caught at restore
+  std::uint64_t failovers = 0;        // reads served by a replica
+  std::uint64_t fallbacks = 0;        // restores from an older generation
 };
 
 void arm_repairs(core::MachineRoom& room) {
@@ -118,10 +121,15 @@ Outcome run_restart_from_scratch(std::uint64_t seed) {
 /// `inject_faults` (opt-in via DVC_INJECT_FAULTS so the default table stays
 /// reproducible bit-for-bit), a seeded fault schedule layers disk
 /// slowdowns, clock steps and extra reboot-style crashes on top of the
-/// baseline failure process.
+/// baseline failure process. `storage_faults` swaps in the durability
+/// gauntlet (silent corruption + torn writes against the checkpoint
+/// store); `replicas` adds k-1 asynchronous store replicas.
 Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
-                bool inject_faults = false) {
-  core::MachineRoom room(room_options(seed));
+                bool inject_faults = false, bool storage_faults = false,
+                std::uint32_t replicas = 0) {
+  core::MachineRoomOptions opt = room_options(seed);
+  opt.store_replicas = replicas;
+  core::MachineRoom room(opt);
   arm_repairs(room);
 
   core::VcSpec spec;
@@ -153,18 +161,26 @@ Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
     st.horizon = 20000 * sim::kSecond;
     st.node_crash_mtbf = 10000 * sim::kSecond;
     st.node_down_for = 600 * sim::kSecond;
-    st.disk_slow_mtbf = 4000 * sim::kSecond;
-    st.disk_slow_for = 120 * sim::kSecond;
-    st.disk_slow_factor = 8.0;
-    st.clock_step_mtbf = 3000 * sim::kSecond;
-    st.clock_step_max = 400 * sim::kMillisecond;
+    if (storage_faults) {
+      // Durability gauntlet: the checkpoint store rots and tears while
+      // the node-failure process keeps forcing restores that read it.
+      st.store_corrupt_mtbf = 1500 * sim::kSecond;
+      st.store_tear_mtbf = 2500 * sim::kSecond;
+    } else {
+      st.disk_slow_mtbf = 4000 * sim::kSecond;
+      st.disk_slow_for = 120 * sim::kSecond;
+      st.disk_slow_factor = 8.0;
+      st.clock_step_mtbf = 3000 * sim::kSecond;
+      st.clock_step_max = 400 * sim::kMillisecond;
+    }
     fault::FaultPlan plan;
     plan.sample(st, static_cast<std::uint32_t>(room.fabric.node_count()),
-                /*cluster_count=*/1, sim::Rng(seed ^ 0xFA17));
+                /*cluster_count=*/1, sim::Rng(seed ^ 0xFA17),
+                static_cast<std::uint32_t>(1 + room.replica_stores.size()));
     injector.emplace(
         room.sim,
         fault::FaultInjector::Hooks{&room.fabric, &room.store,
-                                    room.time.get()},
+                                    room.time.get(), room.replica_ptrs()},
         &room.metrics);
     injector->arm(plan);
   }
@@ -184,6 +200,10 @@ Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
   const double useful_s = kIterations * kIterSeconds * 1e10 / (10e9 * 0.97);
   out.wasted_compute_s =
       std::max(0.0, application.stats().compute_done_s - useful_s);
+  out.verify_failures =
+      room.metrics.counter_value("storage.store.verify_failures");
+  out.failovers = room.metrics.counter_value("storage.replica.failovers");
+  out.fallbacks = room.dvc->restore_fallbacks();
   return out;
 }
 
@@ -246,6 +266,30 @@ int main(int argc, char** argv) {
                     {"checkpoints", o.ckpt_overhead},
                     {"wasted_s", o.wasted_compute_s}};
     rows.push_back(std::move(row));
+
+    // Durability row: storage faults (silent corruption + torn writes)
+    // against a k=2 replicated checkpoint store. Replica failover masks
+    // most damage; generation fallback catches what slips through.
+    const Outcome d = run_dvc(120 * sim::kSecond, kSeed, true,
+                              /*storage_faults=*/true, /*replicas=*/1);
+    table.add_row({"DVC ckpt 120 s + storage faults (k=2)",
+                   d.completed ? "yes" : "NO", fmt(d.completion_s, 0),
+                   std::to_string(d.failures), std::to_string(d.recoveries),
+                   fmt(d.ckpt_overhead, 0), fmt(d.wasted_compute_s, 0)});
+    std::printf("    storage-fault run: %llu verify failures, %llu replica"
+                " failovers, %llu generation fallbacks\n",
+                static_cast<unsigned long long>(d.verify_failures),
+                static_cast<unsigned long long>(d.failovers),
+                static_cast<unsigned long long>(d.fallbacks));
+    MetricRow drow;
+    drow.name = "reliability/dvc_storage_faults_k2";
+    drow.counters = {{"completion_s", d.completion_s},
+                     {"recoveries", static_cast<double>(d.recoveries)},
+                     {"verify_failures",
+                      static_cast<double>(d.verify_failures)},
+                     {"failovers", static_cast<double>(d.failovers)},
+                     {"fallbacks", static_cast<double>(d.fallbacks)}};
+    rows.push_back(std::move(drow));
   }
 
   table.print("T9  job completion under node failures");

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the DVC simulator.
 #
-#   ./ci.sh             configure, build, and run the full test suite
+#   ./ci.sh             configure (warnings-as-errors), build, and run the
+#                       full test suite
 #   ./ci.sh --sanitize  same, under AddressSanitizer + UBSan (separate
 #                       build tree, slower; catches lifetime/UB bugs the
 #                       plain build cannot)
@@ -43,7 +44,7 @@ case "${1:-}" in
     ctest --test-dir build-soak --output-on-failure -R 'FaultSoakTest'
     ;;
   "")
-    build_and_test build
+    build_and_test build -DDVC_WERROR=ON
     ;;
   *)
     echo "usage: $0 [--sanitize|--soak]" >&2

@@ -368,6 +368,12 @@ void ParallelApp::on_transport_failure(RankId rank, std::string why) {
   }
 }
 
+void ParallelApp::mark_failed(std::string why) {
+  if (completed_ || failed_) return;
+  failed_ = true;
+  if (on_failure_) on_failure_(std::move(why));
+}
+
 JobStats ParallelApp::stats() const {
   JobStats s;
   s.makespan_s = sim::to_seconds(finished_sim_ - started_sim_);

@@ -187,6 +187,12 @@ class ParallelApp final {
     on_failure_ = std::move(fn);
   }
 
+  /// Marks the job failed from outside the transport (e.g. the control
+  /// plane abandoning recovery after exhausting every checkpoint
+  /// generation). No-op on a completed job; fires the failure callback so
+  /// the run ends diagnosed instead of wedged.
+  void mark_failed(std::string why);
+
   /// Starts a whole-job rollback: bumps the transport epoch every restored
   /// endpoint must use and clears the failure flag. Ranks are then restored
   /// individually via their VMs' rollback_and_resume.

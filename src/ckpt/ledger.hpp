@@ -12,19 +12,29 @@ namespace dvc::ckpt {
 /// exactly once, in order, per (sender, receiver) pair — the property the
 /// paper's §3 scenarios argue for and figure 2 illustrates.
 ///
-/// Intended for save/resume experiments (no rollback); a rollback
-/// deliberately undoes deliveries, which this ledger does not model.
+/// Rollback support: call note_rollback() when the application rolls back
+/// to a checkpoint. Events recorded afterwards belong to a new *epoch*;
+/// re-executed sends and deliveries (same message ids, later epoch) are
+/// the expected consequence of redoing lost work and are collapsed onto
+/// their first occurrence, while a repeated id *within* one epoch is
+/// still flagged as a genuine duplicate delivery.
 class MessageLedger final {
  public:
   void record_send(std::uint32_t from, std::uint32_t to,
                    std::uint64_t msg_id) {
-    sent_[key(from, to)].push_back(msg_id);
+    sent_[key(from, to)].push_back(Entry{msg_id, epoch_});
   }
 
   void record_delivery(std::uint32_t from, std::uint32_t to,
                        std::uint64_t msg_id) {
-    delivered_[key(from, to)].push_back(msg_id);
+    delivered_[key(from, to)].push_back(Entry{msg_id, epoch_});
   }
+
+  /// Marks a rollback cut: subsequent records are re-execution, not
+  /// duplication. Returns the new epoch.
+  std::uint32_t note_rollback() { return ++epoch_; }
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
 
   /// Verdict of the consistency check, with a human-readable reason.
   struct Verdict {
@@ -34,29 +44,40 @@ class MessageLedger final {
 
   /// Verifies exactly-once in-order delivery of a *prefix* of each pair's
   /// sends (messages still in flight at the end of the run are allowed to
-  /// be undelivered when `allow_in_flight` is true).
+  /// be undelivered when `allow_in_flight` is true). Re-execution across
+  /// rollback epochs is collapsed first; duplicates within an epoch fail.
   [[nodiscard]] Verdict check(bool allow_in_flight = false) const {
+    bool dup_in_epoch = false;
     for (const auto& [k, del] : delivered_) {
       const auto sit = sent_.find(k);
       if (sit == sent_.end()) {
         return {false, "delivery without a matching send"};
       }
-      const auto& snt = sit->second;
-      if (del.size() > snt.size()) {
+      const std::vector<std::uint64_t> snt =
+          collapse(sit->second, dup_in_epoch);
+      const std::vector<std::uint64_t> got = collapse(del, dup_in_epoch);
+      if (dup_in_epoch) {
         return {false, "more deliveries than sends (duplicate delivery)"};
       }
-      for (std::size_t i = 0; i < del.size(); ++i) {
-        if (del[i] != snt[i]) {
+      if (got.size() > snt.size()) {
+        return {false, "more deliveries than sends (duplicate delivery)"};
+      }
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i] != snt[i]) {
           return {false, "out-of-order or duplicated delivery"};
         }
       }
     }
     if (!allow_in_flight) {
       for (const auto& [k, snt] : sent_) {
+        const std::vector<std::uint64_t> unique_snt =
+            collapse(snt, dup_in_epoch);
         const auto dit = delivered_.find(k);
         const std::size_t got =
-            dit == delivered_.end() ? 0 : dit->second.size();
-        if (got != snt.size()) {
+            dit == delivered_.end()
+                ? 0
+                : collapse(dit->second, dup_in_epoch).size();
+        if (got != unique_snt.size()) {
           return {false, "message lost across the cut"};
         }
       }
@@ -76,13 +97,41 @@ class MessageLedger final {
   }
 
  private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  /// Collapses a per-pair event sequence onto unique message ids, keeping
+  /// first-occurrence order. A repeated id in a *later* epoch is benign
+  /// re-execution and is dropped; a repeat within the epoch it was last
+  /// seen in sets `dup_in_epoch`.
+  [[nodiscard]] static std::vector<std::uint64_t> collapse(
+      const std::vector<Entry>& v, bool& dup_in_epoch) {
+    std::vector<std::uint64_t> out;
+    std::map<std::uint64_t, std::uint32_t> last_epoch;  // id -> epoch seen
+    for (const Entry& e : v) {
+      const auto it = last_epoch.find(e.id);
+      if (it == last_epoch.end()) {
+        last_epoch.emplace(e.id, e.epoch);
+        out.push_back(e.id);
+      } else if (it->second == e.epoch) {
+        dup_in_epoch = true;
+      } else {
+        it->second = e.epoch;  // re-executed across a rollback cut
+      }
+    }
+    return out;
+  }
+
   [[nodiscard]] static std::uint64_t key(std::uint32_t a,
                                          std::uint32_t b) noexcept {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
-  std::map<std::uint64_t, std::vector<std::uint64_t>> sent_;
-  std::map<std::uint64_t, std::vector<std::uint64_t>> delivered_;
+  std::uint32_t epoch_ = 0;
+  std::map<std::uint64_t, std::vector<Entry>> sent_;
+  std::map<std::uint64_t, std::vector<Entry>> delivered_;
 };
 
 }  // namespace dvc::ckpt

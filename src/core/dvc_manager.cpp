@@ -221,6 +221,7 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
           } else {
             vc.checkpoint_chain_ = {r.set};
           }
+          push_generation(vc);
         }
         if (cb) cb(std::move(r));
       },
@@ -377,7 +378,8 @@ void DvcManager::live_migrate_vc(
   const double per_vm_bw = cfg.bandwidth_bps / vc.size();
   const VcId id = vc.id();
 
-  auto finish_member = [this, ms, id, &vc](std::uint32_t i, bool ok) {
+  auto finish_member = [this, ms, id, &vc](std::uint32_t /*member*/,
+                                           bool ok) {
     if (!ok) ms->any_failed = true;
     if (--ms->outstanding != 0) return;
     // Release sources that are not reused as targets.
@@ -502,20 +504,18 @@ void DvcManager::schedule_periodic_checkpoint(VcId id) {
         !rt.checkpoint_in_flight) {
       rt.checkpoint_in_flight = true;
       // Incremental rounds between periodic full images (bounding the
-      // restore chain); pruning only ever happens after a full image so
-      // a live chain is never cut.
+      // restore chain). Old generations are collected by the refcounted
+      // GC inside push_generation, which keeps a shared base full image
+      // alive for as long as any retained chain still stages it.
       const bool incremental =
           rt.policy->incremental &&
           (++rt.ckpt_round % std::max(rt.policy->full_every, 1)) != 0;
       checkpoint_vc(
           *rt.vc, *rt.policy->coordinator,
-          [this, id, incremental](const ckpt::LscResult&) {
+          [this, id](const ckpt::LscResult&) {
             auto cit = vcs_.find(id);
-            if (cit == vcs_.end()) return;
-            cit->second.checkpoint_in_flight = false;
-            if (cit->second.policy && !incremental) {
-              images_->prune(cit->second.vc->checkpoint_label(),
-                             cit->second.policy->keep_checkpoints);
+            if (cit != vcs_.end()) {
+              cit->second.checkpoint_in_flight = false;
             }
           },
           incremental);
@@ -539,7 +539,8 @@ void DvcManager::schedule_member_watchdog(VcId id) {
     VcRuntime& rt = rit->second;
     if (!rt.recovery_in_flight && rt.vc->has_checkpoint() &&
         rt.vc->state_ != VcState::kDestroyed &&
-        rt.vc->state_ != VcState::kRecovering) {
+        rt.vc->state_ != VcState::kRecovering &&
+        rt.vc->state_ != VcState::kFailed) {
       bool member_dead = false;
       for (std::uint32_t i = 0; i < rt.vc->size(); ++i) {
         const hw::NodeId n = rt.vc->placement(i);
@@ -714,23 +715,147 @@ void DvcManager::recover(VcRuntime& rt) {
   restore_vc(vc, std::move(placement), [this, id](bool ok) {
     const auto rit = vcs_.find(id);
     if (rit == vcs_.end()) return;
-    rit->second.recovery_in_flight = false;
+    VcRuntime& rt = rit->second;
+    rt.recovery_in_flight = false;
     if (ok) {
+      rt.restore_attempts = 0;
       ++recoveries_;
-      ++rit->second.vc->recoveries_;
+      ++rt.vc->recoveries_;
       telemetry::count(metrics_, "core.dvc.recoveries");
       telemetry::instant(metrics_, sim_->now(), "dvc", "recovered");
       sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
                  "vc#" + std::to_string(id) + " recovered");
-    } else {
-      // Staging failed (e.g. another node died mid-restore): try again.
-      rit->second.recovery_in_flight = true;
-      sim_->schedule_after(kRecoveryRetryDelay, [this, id] {
+      return;
+    }
+    if (chain_damaged(*rt.vc)) {
+      // The recovery point itself is bad (torn or corrupted images that
+      // no replica could mask). Retrying it would wedge forever; walk
+      // back a generation and re-run the lost work instead.
+      ++restore_fallbacks_;
+      telemetry::count(metrics_, "core.dvc.restore_fallbacks");
+      telemetry::instant(metrics_, sim_->now(), "dvc", "restore_fallback");
+      if (!fall_back_generation(rt)) {
+        abandon_recovery(rt, "every checkpoint generation is damaged");
+        return;
+      }
+      sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+                 "vc#" + std::to_string(id) +
+                     " checkpoint damaged; falling back to set " +
+                     std::to_string(rt.vc->last_checkpoint_.set));
+      rt.restore_attempts = 0;
+      rt.recovery_in_flight = true;
+      sim_->schedule_after(kFailureDetectionDelay, [this, id] {
         const auto r2 = vcs_.find(id);
         if (r2 != vcs_.end()) recover(r2->second);
       });
+      return;
     }
+    // A transient restore-path fault (e.g. another node died mid-restore):
+    // retry with re-resolved placement, but only within the budget — an
+    // unbounded loop here is indistinguishable from a hang.
+    const int budget = rt.policy ? rt.policy->max_restore_retries
+                                 : RecoveryPolicy{}.max_restore_retries;
+    if (++rt.restore_attempts > budget) {
+      abandon_recovery(rt, "restore retry budget exhausted");
+      return;
+    }
+    rt.recovery_in_flight = true;
+    sim_->schedule_after(kRecoveryRetryDelay, [this, id] {
+      const auto r2 = vcs_.find(id);
+      if (r2 != vcs_.end()) recover(r2->second);
+    });
   });
+}
+
+void DvcManager::push_generation(VirtualCluster& vc) {
+  vc.generations_.push_back(
+      VcGeneration{vc.last_checkpoint_, vc.checkpoint_chain_});
+  for (const storage::CheckpointSetId s : vc.checkpoint_chain_) {
+    ++set_refs_[s];
+  }
+  const auto it = vcs_.find(vc.id());
+  if (it == vcs_.end() || !it->second.policy) return;
+  const std::size_t keep =
+      std::max<std::size_t>(1, it->second.policy->keep_checkpoints);
+  while (vc.generations_.size() > keep) {
+    release_generation(vc.generations_.front());
+    vc.generations_.erase(vc.generations_.begin());
+  }
+}
+
+void DvcManager::release_generation(const VcGeneration& g) {
+  for (const storage::CheckpointSetId s : g.chain) {
+    const auto it = set_refs_.find(s);
+    if (it == set_refs_.end()) continue;
+    if (--it->second == 0) {
+      set_refs_.erase(it);
+      images_->discard_set(s);
+    }
+  }
+}
+
+bool DvcManager::generation_damaged(const VcGeneration& g) const {
+  for (const storage::CheckpointSetId s : g.chain) {
+    const storage::CheckpointSet* cs = images_->find_set(s);
+    if (cs == nullptr || cs->damaged) return true;
+  }
+  return g.chain.empty();
+}
+
+bool DvcManager::chain_damaged(const VirtualCluster& vc) const {
+  if (!vc.checkpoint_chain_.empty()) {
+    for (const storage::CheckpointSetId s : vc.checkpoint_chain_) {
+      const storage::CheckpointSet* cs = images_->find_set(s);
+      if (cs == nullptr || cs->damaged) return true;
+    }
+    return false;
+  }
+  const storage::CheckpointSet* cs =
+      images_->find_set(vc.last_checkpoint_.set);
+  return cs == nullptr || cs->damaged;
+}
+
+bool DvcManager::fall_back_generation(VcRuntime& rt) {
+  VirtualCluster& vc = *rt.vc;
+  auto& gens = vc.generations_;
+  // Quarantine the current recovery point. Normally it is the newest
+  // generation; a migration checkpoint can sit outside the list, in which
+  // case only its set is discarded.
+  if (!gens.empty() && gens.back().checkpoint.set == vc.last_checkpoint_.set) {
+    release_generation(gens.back());
+    gens.pop_back();
+  } else {
+    images_->discard_set(vc.last_checkpoint_.set);
+  }
+  // Walk back to the newest generation not already known to be damaged.
+  while (!gens.empty() && generation_damaged(gens.back())) {
+    release_generation(gens.back());
+    gens.pop_back();
+  }
+  if (gens.empty()) {
+    vc.last_checkpoint_ = VcCheckpoint{};
+    vc.checkpoint_chain_.clear();
+    return false;
+  }
+  vc.last_checkpoint_ = gens.back().checkpoint;
+  vc.checkpoint_chain_ = gens.back().chain;
+  return true;
+}
+
+void DvcManager::abandon_recovery(VcRuntime& rt, const std::string& why) {
+  VirtualCluster& vc = *rt.vc;
+  vc.state_ = VcState::kFailed;
+  vc.last_checkpoint_ = VcCheckpoint{};
+  vc.checkpoint_chain_.clear();
+  rt.recovery_in_flight = false;
+  ++recoveries_abandoned_;
+  telemetry::count(metrics_, "core.dvc.recoveries_abandoned");
+  telemetry::instant(metrics_, sim_->now(), "dvc", "recovery_abandoned");
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kError, "dvc",
+             "vc#" + std::to_string(vc.id()) + " recovery abandoned: " + why);
+  // End the run *diagnosed*: downstream supervisors (dvcsim, the soak
+  // harness, the RM) key off the application's failure flag.
+  if (rt.app != nullptr) rt.app->mark_failed("recovery abandoned: " + why);
 }
 
 void DvcManager::recover_now(VirtualCluster& vc) {

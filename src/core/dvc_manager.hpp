@@ -139,6 +139,12 @@ class DvcManager final {
     /// domain) and any failure the feed-triggered recovery missed, and
     /// restores the whole VC from its last complete checkpoint.
     sim::Duration watchdog_interval = 0;
+    /// Consecutive restore failures tolerated per recovery point before
+    /// the VC is declared failed (kFailed) instead of retrying forever.
+    /// Damaged checkpoint data does not consume this budget — it triggers
+    /// a generation fallback, which resets the count. Waiting for spare
+    /// nodes is not a restore failure and stays unbounded.
+    int max_restore_retries = 4;
   };
 
   /// Arms periodic checkpointing and automatic failure recovery for a VC.
@@ -170,6 +176,16 @@ class DvcManager final {
   [[nodiscard]] std::uint64_t watchdog_detections() const noexcept {
     return watchdog_detections_;
   }
+  /// Recoveries that had to walk back to an older checkpoint generation
+  /// because the newer one was damaged (torn / corrupted / unreadable).
+  [[nodiscard]] std::uint64_t restore_fallbacks() const noexcept {
+    return restore_fallbacks_;
+  }
+  /// Recoveries abandoned after exhausting every generation and the retry
+  /// budget; the VC ends in VcState::kFailed with its app marked failed.
+  [[nodiscard]] std::uint64_t recoveries_abandoned() const noexcept {
+    return recoveries_abandoned_;
+  }
   [[nodiscard]] storage::ImageManager& images() noexcept { return *images_; }
   [[nodiscard]] hw::Fabric& fabric() noexcept { return *fabric_; }
 
@@ -199,6 +215,8 @@ class DvcManager final {
     bool recovery_in_flight = false;
     bool checkpoint_in_flight = false;
     int ckpt_round = 0;
+    /// Consecutive failed restores of the *current* recovery point.
+    int restore_attempts = 0;
   };
 
   void claim(VirtualCluster& vc);
@@ -208,6 +226,15 @@ class DvcManager final {
   void recover(VcRuntime& rt);
   void schedule_periodic_checkpoint(VcId id);
   void schedule_member_watchdog(VcId id);
+  // ---- generation history (refcounted checkpoint-set GC) ----------------
+  void push_generation(VirtualCluster& vc);
+  void release_generation(const VcGeneration& g);
+  [[nodiscard]] bool generation_damaged(const VcGeneration& g) const;
+  [[nodiscard]] bool chain_damaged(const VirtualCluster& vc) const;
+  /// Drops the damaged current recovery point and rolls last_checkpoint_
+  /// back to the newest undamaged generation. False = none left.
+  bool fall_back_generation(VcRuntime& rt);
+  void abandon_recovery(VcRuntime& rt, const std::string& why);
 
   sim::Simulation* sim_;
   hw::Fabric* fabric_;
@@ -217,12 +244,18 @@ class DvcManager final {
   VcId next_vc_ = 1;
   std::map<VcId, VcRuntime> vcs_;
   std::map<hw::NodeId, VcId> claimed_;
+  /// How many retained generations reference each checkpoint set
+  /// (incremental chains share their base full image across generations).
+  /// A set leaves the store when its last reference drops.
+  std::map<storage::CheckpointSetId, int> set_refs_;
   std::uint64_t recoveries_ = 0;
   std::uint64_t checkpoints_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t evacuations_ = 0;
   std::uint64_t live_migrations_ = 0;
   std::uint64_t watchdog_detections_ = 0;
+  std::uint64_t restore_fallbacks_ = 0;
+  std::uint64_t recoveries_abandoned_ = 0;
   sim::TraceLog* trace_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
 };

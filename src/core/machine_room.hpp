@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "clocksync/ntp.hpp"
 #include "core/dvc_manager.hpp"
@@ -29,6 +30,11 @@ struct MachineRoomOptions {
   clocksync::ClusterTimeService::Config time{};
   std::uint64_t seed = 42;
   bool presync_clocks = true;
+  /// Checkpoint durability factor k-1: number of additional SharedStore
+  /// replicas (same config as the primary) that asynchronously receive a
+  /// copy of every checkpoint image. 0 = primary only (historical
+  /// behaviour, and byte-identical to it).
+  std::uint32_t store_replicas = 0;
 };
 
 /// A complete miniature machine room: simulation kernel, physical fabric,
@@ -57,6 +63,11 @@ struct MachineRoom {
       time->sync_all();
       time->start_periodic();
     }
+    for (std::uint32_t r = 0; r < opt.store_replicas; ++r) {
+      replica_stores.push_back(
+          std::make_unique<storage::SharedStore>(sim, opt.store));
+      images.add_replica(*replica_stores.back());
+    }
     dvc = std::make_unique<DvcManager>(sim, fabric, *fleet, images, *time);
     fabric.set_trace(&trace);
     dvc->set_trace(&trace);
@@ -64,10 +75,23 @@ struct MachineRoom {
     // a nullable pointer, so standalone construction stays metrics-free).
     fabric.network().set_metrics(&metrics);
     store.set_metrics(&metrics);
+    for (std::size_t r = 0; r < replica_stores.size(); ++r) {
+      replica_stores[r]->set_metrics(&metrics,
+                                     "storage.replica" + std::to_string(r));
+    }
     images.set_metrics(&metrics);
     fleet->set_metrics(&metrics);
     dvc->set_metrics(&metrics);
     telemetry::bridge_trace_errors(trace, metrics);
+  }
+
+  /// All stores a fault plan can target, primary first — hand this to
+  /// fault::FaultInjector::Hooks::replicas (minus the leading primary).
+  [[nodiscard]] std::vector<storage::SharedStore*> replica_ptrs() {
+    std::vector<storage::SharedStore*> out;
+    out.reserve(replica_stores.size());
+    for (const auto& r : replica_stores) out.push_back(r.get());
+    return out;
   }
 
   sim::Simulation sim;
@@ -80,6 +104,9 @@ struct MachineRoom {
   hw::Fabric fabric;
   storage::SharedStore store;
   storage::ImageManager images;
+  /// Replica stores (see MachineRoomOptions::store_replicas); owned here,
+  /// registered with `images`.
+  std::vector<std::unique_ptr<storage::SharedStore>> replica_stores;
   std::unique_ptr<vm::HypervisorFleet> fleet;
   std::unique_ptr<clocksync::ClusterTimeService> time;
   std::unique_ptr<DvcManager> dvc;

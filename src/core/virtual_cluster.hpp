@@ -32,6 +32,9 @@ enum class VcState : std::uint8_t {
   kRecovering,
   kMigrating,
   kDestroyed,
+  /// Recovery exhausted every checkpoint generation and retry budget.
+  /// Terminal: the job is lost, but *diagnosed* — never a silent wedge.
+  kFailed,
 };
 
 /// The last durable coordinated checkpoint of a virtual cluster: the
@@ -40,6 +43,14 @@ struct VcCheckpoint {
   storage::CheckpointSetId set = storage::kInvalidCheckpointSet;
   std::vector<std::any> app_snapshots;
   sim::Time taken_at = 0;
+};
+
+/// One recovery point in the VC's generation history: the checkpoint plus
+/// the full chain of sets a restore from it must stage. Recovery walks
+/// this list newest-to-oldest when a generation turns out to be damaged.
+struct VcGeneration {
+  VcCheckpoint checkpoint;
+  std::vector<storage::CheckpointSetId> chain;
 };
 
 /// A virtual cluster: a set of virtual machines with stable fabric
@@ -101,6 +112,14 @@ class VirtualCluster final {
     return checkpoint_chain_;
   }
 
+  /// Retained recovery points, oldest first; the back entry is the current
+  /// checkpoint. DvcManager trims this to the policy's keep window with
+  /// refcounted set GC (chains may share their base full image).
+  [[nodiscard]] const std::vector<VcGeneration>& generations()
+      const noexcept {
+    return generations_;
+  }
+
   [[nodiscard]] std::uint32_t recoveries() const noexcept {
     return recoveries_;
   }
@@ -119,6 +138,7 @@ class VirtualCluster final {
   std::vector<hw::NodeId> placement_;
   VcCheckpoint last_checkpoint_;
   std::vector<storage::CheckpointSetId> checkpoint_chain_;
+  std::vector<VcGeneration> generations_;
   std::uint32_t recoveries_ = 0;
   std::uint32_t instantiations_ = 0;
 };

@@ -96,6 +96,28 @@ void FaultInjector::apply(const FaultEvent& e) {
       hooks_.time->clock(e.node).apply_correction(e.clock_step);
       break;
     }
+    case FaultKind::kStoreCorrupt: {
+      storage::SharedStore* st = target_store(e.store);
+      if (st == nullptr) {
+        skip(e);
+        return;
+      }
+      const storage::ObjectId target = st->nth_newest_object(e.nth_newest);
+      if (target == storage::kInvalidObject ||
+          !st->corrupt_object(target)) {
+        skip(e);  // store empty, or the victim is already torn
+        return;
+      }
+      break;  // permanent: bit rot never lifts itself
+    }
+    case FaultKind::kStoreTear: {
+      storage::SharedStore* st = target_store(e.store);
+      if (st == nullptr || st->tear_inflight_writes() == 0) {
+        skip(e);  // nothing mid-write to tear — the store was idle
+        return;
+      }
+      break;  // permanent: the partial objects stay until GC'd
+    }
   }
   ++injected_total_;
   ++injected_[static_cast<std::size_t>(e.kind)];
@@ -145,7 +167,9 @@ void FaultInjector::lift(const FaultEvent& e) {
       break;
     }
     case FaultKind::kClockStep:
-      return;  // instantaneous, nothing to lift
+    case FaultKind::kStoreCorrupt:
+    case FaultKind::kStoreTear:
+      return;  // instantaneous or permanent, nothing to lift
   }
   ++lifted_total_;
   telemetry::count(metrics_, "fault.lifted");
@@ -172,6 +196,12 @@ void FaultInjector::refresh_pair(std::uint64_t key) {
     links.clear_pair_override(a, b);
     pairs_.erase(it);
   }
+}
+
+storage::SharedStore* FaultInjector::target_store(std::uint32_t i) const {
+  if (i == 0) return hooks_.store;
+  if (i - 1 < hooks_.replicas.size()) return hooks_.replicas[i - 1];
+  return nullptr;
 }
 
 void FaultInjector::refresh_disk() {

@@ -31,6 +31,10 @@ class FaultInjector final {
     hw::Fabric* fabric = nullptr;
     storage::SharedStore* store = nullptr;
     clocksync::ClusterTimeService* time = nullptr;
+    /// Replica stores, in ImageManager registration order. Store faults
+    /// address store 0 = primary, store i = replicas[i-1]. Disk slowdowns
+    /// keep hitting only the primary (the contended staging path).
+    std::vector<storage::SharedStore*> replicas;
   };
 
   FaultInjector(sim::Simulation& sim, Hooks hooks,
@@ -71,6 +75,8 @@ class FaultInjector final {
   void skip(const FaultEvent& e);
   void refresh_pair(std::uint64_t key);
   void refresh_disk();
+  /// Resolves a store-fault target index to a store (null = bad index).
+  [[nodiscard]] storage::SharedStore* target_store(std::uint32_t i) const;
   [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
                                               std::uint32_t b) noexcept;
 
@@ -84,7 +90,7 @@ class FaultInjector final {
   std::uint64_t injected_total_ = 0;
   std::uint64_t lifted_total_ = 0;
   std::uint64_t skipped_total_ = 0;
-  std::array<std::uint64_t, 5> injected_{};
+  std::array<std::uint64_t, 7> injected_{};
 };
 
 }  // namespace dvc::fault

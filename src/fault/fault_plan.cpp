@@ -18,6 +18,10 @@ std::string_view to_string(FaultKind k) noexcept {
       return "disk_slow";
     case FaultKind::kClockStep:
       return "clock_step";
+    case FaultKind::kStoreCorrupt:
+      return "store_corrupt";
+    case FaultKind::kStoreTear:
+      return "store_tear";
   }
   return "unknown";
 }
@@ -115,6 +119,17 @@ FaultPlan FaultPlan::parse_script(const std::string& text) {
       e.node = parse_id(entry, tok[2], "bad node id");
       e.clock_step = static_cast<sim::Duration>(
           parse_num(entry, tok[3], "bad ms") * sim::kMillisecond);
+    } else if (verb == "corrupt") {
+      if (tok.size() != 4) {
+        bad_entry(entry, "corrupt takes <store> <nth_newest>");
+      }
+      e.kind = FaultKind::kStoreCorrupt;
+      e.store = parse_id(entry, tok[2], "bad store id");
+      e.nth_newest = parse_id(entry, tok[3], "bad nth_newest");
+    } else if (verb == "tear") {
+      if (tok.size() != 3) bad_entry(entry, "tear takes <store>");
+      e.kind = FaultKind::kStoreTear;
+      e.store = parse_id(entry, tok[2], "bad store id");
     } else {
       bad_entry(entry, "unknown verb");
     }
@@ -124,7 +139,8 @@ FaultPlan FaultPlan::parse_script(const std::string& text) {
 }
 
 void FaultPlan::sample(const StochasticFaults& spec, std::uint32_t node_count,
-                       std::uint32_t cluster_count, sim::Rng rng) {
+                       std::uint32_t cluster_count, sim::Rng rng,
+                       std::uint32_t store_count) {
   if (spec.horizon <= 0) return;
   // Each process walks its own exponential arrival sequence with a forked
   // child generator; fixed salts keep the processes independent of each
@@ -183,6 +199,30 @@ void FaultPlan::sample(const StochasticFaults& spec, std::uint32_t node_count,
     e.node = static_cast<std::uint32_t>(r.below(node_count));
     const double max = static_cast<double>(spec.clock_step_max);
     e.clock_step = static_cast<sim::Duration>(r.uniform(-max, max));
+    events_.push_back(e);
+  });
+
+  sim::Rng corrupt_rng = rng.fork(0xC0DD);
+  arrivals(corrupt_rng, spec.store_corrupt_mtbf,
+           [&](sim::Rng& r, sim::Time t) {
+             if (store_count == 0) return;
+             FaultEvent e;
+             e.at = t;
+             e.kind = FaultKind::kStoreCorrupt;
+             e.store = static_cast<std::uint32_t>(r.below(store_count));
+             // Bit rot strikes the freshest images: those are the ones a
+             // restore will actually read.
+             e.nth_newest = static_cast<std::uint32_t>(r.below(3));
+             events_.push_back(e);
+           });
+
+  sim::Rng tear_rng = rng.fork(0x7EA2);
+  arrivals(tear_rng, spec.store_tear_mtbf, [&](sim::Rng& r, sim::Time t) {
+    if (store_count == 0) return;
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kStoreTear;
+    e.store = static_cast<std::uint32_t>(r.below(store_count));
     events_.push_back(e);
   });
 }

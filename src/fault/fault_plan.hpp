@@ -14,11 +14,13 @@ namespace dvc::fault {
 /// reboot is a crash with a non-zero `down_for`; everything else with a
 /// duration lifts itself when the duration elapses.
 enum class FaultKind : std::uint8_t {
-  kNodeCrash,   ///< fail a physical node (repair after `down_for` if set)
-  kLinkDown,    ///< cut the link between two physical clusters
-  kLinkDegrade, ///< add loss and inflate latency between two clusters
-  kDiskSlow,    ///< divide the shared store's bandwidth by `factor`
-  kClockStep,   ///< step one host's wall clock by `clock_step`
+  kNodeCrash,    ///< fail a physical node (repair after `down_for` if set)
+  kLinkDown,     ///< cut the link between two physical clusters
+  kLinkDegrade,  ///< add loss and inflate latency between two clusters
+  kDiskSlow,     ///< divide the shared store's bandwidth by `factor`
+  kClockStep,    ///< step one host's wall clock by `clock_step`
+  kStoreCorrupt, ///< silently corrupt a stored object (found at read)
+  kStoreTear,    ///< kill a store mid-write: in-flight writes land torn
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
@@ -38,6 +40,11 @@ struct FaultEvent {
   double latency_factor = 1.0;  ///< degrade: latency multiplier
   double factor = 1.0;          ///< disk slowdown divisor (>= 1)
   sim::Duration clock_step = 0; ///< signed phase step
+  /// Store faults: which store to hit (0 = primary, i = replica i-1).
+  std::uint32_t store = 0;
+  /// Corruption target: the n-th newest object on that store (0 = newest,
+  /// i.e. the most recently written checkpoint image).
+  std::uint32_t nth_newest = 0;
 };
 
 /// Rates for the stochastic half of a plan: independent memoryless
@@ -54,6 +61,12 @@ struct StochasticFaults {
   double disk_slow_factor = 10.0;
   sim::Duration clock_step_mtbf = 0;
   sim::Duration clock_step_max = 500 * sim::kMillisecond;
+  /// Silent-corruption process: each arrival flips bits in one of the
+  /// few newest objects on a uniformly chosen store.
+  sim::Duration store_corrupt_mtbf = 0;
+  /// Torn-write process: each arrival kills a uniformly chosen store's
+  /// in-flight writes mid-stream (a no-op arrival is counted as skipped).
+  sim::Duration store_tear_mtbf = 0;
 };
 
 /// A deterministic schedule of faults: explicit scripted events plus
@@ -73,14 +86,18 @@ class FaultPlan final {
   ///   degrade <cA> <cB> <loss> <lat_x> <for_s> lossy/slow inter-cluster link
   ///   diskslow <factor> <for_s>                shared-store bandwidth / factor
   ///   clockstep <node> <ms>                    step a host clock (ms, signed)
+  ///   corrupt <store> <nth_newest>             silently corrupt an object
+  ///   tear <store>                             tear the store's in-flight writes
   /// Throws std::invalid_argument on malformed input.
   static FaultPlan parse_script(const std::string& text);
 
   /// Samples the stochastic processes over `spec.horizon` and appends the
   /// resulting events. Each process forks its own child Rng, so enabling
-  /// one process never perturbs another's sequence.
+  /// one process never perturbs another's sequence. `store_count` covers
+  /// the primary plus replicas (store faults target one uniformly).
   void sample(const StochasticFaults& spec, std::uint32_t node_count,
-              std::uint32_t cluster_count, sim::Rng rng);
+              std::uint32_t cluster_count, sim::Rng rng,
+              std::uint32_t store_count = 1);
 
   /// All events ordered by time (ties keep insertion order).
   [[nodiscard]] std::vector<FaultEvent> schedule() const;

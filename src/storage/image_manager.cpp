@@ -54,20 +54,62 @@ void ImageManager::add_member(CheckpointSetId set, std::uint64_t member,
                            if (cb) cb();
                            return;
                          }
-                         sit->second.members.push_back(
-                             MemberImage{member, obj, bytes});
+                         MemberImage img{member, obj, bytes, {}};
+                         img.replicas.assign(replicas_.size(),
+                                             kInvalidObject);
+                         sit->second.members.push_back(std::move(img));
                          telemetry::count(metrics_,
                                           "storage.images.members_added");
+                         replicate_member(set, member, bytes);
                          maybe_seal(sit->second);
                          if (cb) cb();
                        });
+}
+
+void ImageManager::replicate_member(CheckpointSetId set, std::uint64_t member,
+                                    std::uint64_t bytes) {
+  // Replication is asynchronous: it consumes each replica store's write
+  // bandwidth but never gates sealing. A copy that lands after its set
+  // died is removed again.
+  const std::uint64_t checksum = synthetic_checksum(set, member, bytes);
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->write_object(
+        "ckpt-replica", bytes, checksum,
+        [this, set, member, bytes, i](ObjectId obj) {
+          auto sit = sets_.find(set);
+          if (sit == sets_.end() || sit->second.aborted) {
+            replicas_[i]->remove_object(obj);
+            return;
+          }
+          for (auto& m : sit->second.members) {
+            if (m.member == member) {
+              m.replicas[i] = obj;
+              telemetry::count(metrics_, "storage.replica.copies");
+              telemetry::count(metrics_, "storage.replica.copy_bytes",
+                               bytes);
+              return;
+            }
+          }
+          replicas_[i]->remove_object(obj);
+        });
+  }
+}
+
+void ImageManager::drop_member_objects(const MemberImage& m) {
+  store_->remove_object(m.object);
+  for (std::size_t i = 0; i < m.replicas.size() && i < replicas_.size();
+       ++i) {
+    if (m.replicas[i] != kInvalidObject) {
+      replicas_[i]->remove_object(m.replicas[i]);
+    }
+  }
 }
 
 void ImageManager::abort_set(CheckpointSetId set) {
   auto it = sets_.find(set);
   if (it == sets_.end() || it->second.sealed) return;
   it->second.aborted = true;
-  for (const auto& m : it->second.members) store_->remove_object(m.object);
+  for (const auto& m : it->second.members) drop_member_objects(m);
   it->second.members.clear();
   seal_callbacks_.erase(set);
   telemetry::count(metrics_, "storage.images.sets_aborted");
@@ -79,7 +121,7 @@ std::uint64_t ImageManager::discard_set(CheckpointSetId set) {
   std::uint64_t reclaimed = 0;
   for (const auto& m : it->second.members) {
     reclaimed += m.bytes;
-    store_->remove_object(m.object);
+    drop_member_objects(m);
   }
   seal_callbacks_.erase(set);
   sets_.erase(it);
@@ -122,6 +164,62 @@ const CheckpointSet* ImageManager::latest_sealed(
   return best;
 }
 
+void ImageManager::mark_damaged(CheckpointSet& s) {
+  if (s.damaged) return;
+  s.damaged = true;
+  telemetry::count(metrics_, "storage.images.sets_damaged");
+}
+
+void ImageManager::read_member_from(CheckpointSetId set,
+                                    std::uint64_t member, std::size_t copy,
+                                    std::function<void(bool)> on_done) {
+  auto sit = sets_.find(set);
+  if (sit == sets_.end()) {
+    if (on_done) on_done(false);
+    return;
+  }
+  const MemberImage* img = nullptr;
+  for (const auto& m : sit->second.members) {
+    if (m.member == member) {
+      img = &m;
+      break;
+    }
+  }
+  if (img == nullptr) {
+    if (on_done) on_done(false);
+    return;
+  }
+  // copy 0 is the primary; copy i is replica i-1. Skip replica slots whose
+  // asynchronous copy never landed.
+  while (copy > 0 && copy <= img->replicas.size() &&
+         img->replicas[copy - 1] == kInvalidObject) {
+    ++copy;
+  }
+  if (copy > img->replicas.size() || copy > replicas_.size()) {
+    // Every copy of this member failed verification (or never existed):
+    // the set as a whole can no longer restore a consistent cut.
+    mark_damaged(sit->second);
+    if (on_done) on_done(false);
+    return;
+  }
+  SharedStore* src = copy == 0 ? store_ : replicas_[copy - 1];
+  const ObjectId obj = copy == 0 ? img->object : img->replicas[copy - 1];
+  if (copy > 0) telemetry::count(metrics_, "storage.replica.failovers");
+  src->read_object(obj, [this, set, member, copy,
+                         cb = std::move(on_done)](ReadError err) mutable {
+    if (err == ReadError::kOk) {
+      if (cb) cb(true);
+      return;
+    }
+    read_member_from(set, member, copy + 1, std::move(cb));
+  });
+}
+
+void ImageManager::read_member(CheckpointSetId set, std::uint64_t member,
+                               std::function<void(bool)> on_done) {
+  read_member_from(set, member, 0, std::move(on_done));
+}
+
 void ImageManager::stage_set(CheckpointSetId set,
                              std::function<void(bool)> on_staged) {
   const CheckpointSet* s = find_set(set);
@@ -135,15 +233,18 @@ void ImageManager::stage_set(CheckpointSetId set,
     if (on_staged) on_staged(true);
     return;
   }
-  for (const auto& m : s->members) {
+  // Copy the member list: read_member failure paths may mutate the set.
+  std::vector<std::uint64_t> members;
+  members.reserve(s->members.size());
+  for (const auto& m : s->members) members.push_back(m.member);
+  for (const std::uint64_t m : members) {
     telemetry::count(metrics_, "storage.images.stage_reads");
-    store_->read_object(m.object,
-                        [remaining, all_ok, on_staged](bool ok) {
-                          if (!ok) *all_ok = false;
-                          if (--*remaining == 0 && on_staged) {
-                            on_staged(*all_ok);
-                          }
-                        });
+    read_member(set, m, [remaining, all_ok, on_staged](bool ok) {
+      if (!ok) *all_ok = false;
+      if (--*remaining == 0 && on_staged) {
+        on_staged(*all_ok);
+      }
+    });
   }
 }
 
@@ -160,7 +261,7 @@ std::uint64_t ImageManager::prune(const std::string& label,
     auto it = sets_.find(sealed[i]);
     for (const auto& m : it->second.members) {
       reclaimed += m.bytes;
-      store_->remove_object(m.object);
+      drop_member_objects(m);
     }
     sets_.erase(it);
   }

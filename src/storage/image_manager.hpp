@@ -17,11 +17,14 @@ using CheckpointSetId = std::uint64_t;
 
 inline constexpr CheckpointSetId kInvalidCheckpointSet = 0;
 
-/// One member image inside a checkpoint set.
+/// One member image inside a checkpoint set. `replicas[i]` is the copy on
+/// replica store i (kInvalidObject while that copy is still streaming or
+/// was never made).
 struct MemberImage {
   std::uint64_t member = 0;          ///< index of the VM within its VC
-  ObjectId object = kInvalidObject;  ///< backing object in the store
+  ObjectId object = kInvalidObject;  ///< backing object in the primary store
   std::uint64_t bytes = 0;
+  std::vector<ObjectId> replicas;
 };
 
 /// A coordinated snapshot of a virtual cluster: complete only when every
@@ -36,6 +39,10 @@ struct CheckpointSet {
   sim::Time sealed_at = 0;
   bool sealed = false;
   bool aborted = false;
+  /// A member image failed verification on every replica that holds it:
+  /// this set can never restore a consistent cut again. Recovery must
+  /// fall back to an older generation.
+  bool damaged = false;
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     std::uint64_t b = 0;
@@ -47,12 +54,28 @@ struct CheckpointSet {
 /// Tracks base OS images and checkpoint sets, and stages them to nodes.
 /// This is the "image management capability to track the correct staging
 /// and restart of images" from §1 of the paper.
+///
+/// Durability: each member image lands on the primary store and is then
+/// copied asynchronously to every registered replica store (replication
+/// consumes replica write bandwidth but never delays sealing — the seal
+/// still means "the primary copy is durable"). Verified reads go through
+/// read_member, which fails over primary → replicas in order and marks
+/// the set damaged only when every copy is torn, corrupted, or missing.
 class ImageManager final {
  public:
   explicit ImageManager(SharedStore& store) : store_(&store) {}
 
   ImageManager(const ImageManager&) = delete;
   ImageManager& operator=(const ImageManager&) = delete;
+
+  /// Registers an additional store that receives an asynchronous copy of
+  /// every member image written from now on. Call before checkpointing
+  /// starts; replicas of already-written images are not backfilled.
+  void add_replica(SharedStore& store) { replicas_.push_back(&store); }
+
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
 
   /// Registers a named base OS image of the given size (instantaneous:
   /// base images are pre-seeded before experiments start).
@@ -90,9 +113,17 @@ class ImageManager final {
   [[nodiscard]] const CheckpointSet* latest_sealed(
       const std::string& label) const;
 
+  /// Verified read of one member image with replica failover: tries the
+  /// primary copy, then each replica in registration order, and reports
+  /// true at the first copy whose digest verifies. Reports false — and
+  /// marks the whole set damaged — only when every copy failed.
+  void read_member(CheckpointSetId set, std::uint64_t member,
+                   std::function<void(bool)> on_done);
+
   /// Stages every member image of a sealed set toward compute nodes
-  /// (a contended read per member); `on_staged(ok)` fires when all reads
-  /// finish, ok = all checksums verified.
+  /// (a contended, verified read per member, with replica failover);
+  /// `on_staged(ok)` fires when all reads finish, ok = every member had
+  /// at least one verifiable copy.
   void stage_set(CheckpointSetId set, std::function<void(bool)> on_staged);
 
   /// Deletes all sealed sets with this label except the most recent
@@ -100,17 +131,28 @@ class ImageManager final {
   std::uint64_t prune(const std::string& label, std::size_t keep);
 
   [[nodiscard]] SharedStore& store() noexcept { return *store_; }
+  [[nodiscard]] SharedStore& replica(std::size_t i) noexcept {
+    return *replicas_.at(i);
+  }
 
   /// Attaches an optional metrics registry for set lifecycle counters
-  /// (`storage.images.*`: sets opened/sealed/aborted, members added,
-  /// base-image lookup hits/misses, staging reads, pruned bytes).
+  /// (`storage.images.*`: sets opened/sealed/aborted/damaged, members
+  /// added, base-image lookup hits/misses, staging reads, pruned bytes)
+  /// and replication counters (`storage.replica.*`).
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
  private:
   void maybe_seal(CheckpointSet& s);
+  void replicate_member(CheckpointSetId set, std::uint64_t member,
+                        std::uint64_t bytes);
+  void drop_member_objects(const MemberImage& m);
+  void mark_damaged(CheckpointSet& s);
+  void read_member_from(CheckpointSetId set, std::uint64_t member,
+                        std::size_t copy, std::function<void(bool)> on_done);
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
   SharedStore* store_;
+  std::vector<SharedStore*> replicas_;
   std::unordered_map<std::string, ObjectId> base_images_;
   CheckpointSetId next_set_ = 1;
   std::map<CheckpointSetId, CheckpointSet> sets_;

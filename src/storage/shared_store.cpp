@@ -1,8 +1,29 @@
 #include "storage/shared_store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace dvc::storage {
+
+namespace {
+/// XOR mask applied by corrupt_object: any non-zero change to the on-disk
+/// digest models a bit flip the declared digest will not match.
+constexpr std::uint64_t kBitRot = 0xB17F117ULL;
+}  // namespace
+
+std::string_view to_string(ReadError e) noexcept {
+  switch (e) {
+    case ReadError::kOk:
+      return "ok";
+    case ReadError::kNotFound:
+      return "not_found";
+    case ReadError::kTorn:
+      return "torn";
+    case ReadError::kChecksumMismatch:
+      return "checksum_mismatch";
+  }
+  return "unknown";
+}
 
 std::uint64_t synthetic_checksum(std::uint64_t a, std::uint64_t b,
                                  std::uint64_t c) noexcept {
@@ -16,39 +37,63 @@ std::uint64_t synthetic_checksum(std::uint64_t a, std::uint64_t b,
   return h;
 }
 
-void SharedStore::set_metrics(telemetry::MetricsRegistry* m) {
+void SharedStore::set_metrics(telemetry::MetricsRegistry* m,
+                              std::string prefix) {
   metrics_ = m;
-  writes_.set_metrics(m, "storage.write_pool");
-  reads_.set_metrics(m, "storage.read_pool");
+  metric_prefix_ = std::move(prefix);
+  writes_.set_metrics(m, metric_prefix_ + ".write_pool");
+  reads_.set_metrics(m, metric_prefix_ + ".read_pool");
+}
+
+void SharedStore::count(const char* metric) const {
+  if (metrics_ == nullptr) return;
+  telemetry::count(metrics_, metric_prefix_ + ".store." + metric);
+}
+
+void SharedStore::install(ObjectId id, InflightWrite&& w, bool torn) {
+  ObjectInfo info;
+  info.id = id;
+  info.name = std::move(w.name);
+  info.bytes = w.bytes;
+  info.checksum = w.checksum;
+  info.stored_checksum = w.checksum;
+  info.torn = torn;
+  info.created_at = sim_->now();
+  objects_.emplace(id, std::move(info));
+  bytes_stored_ += w.bytes;
+  bytes_written_total_ += w.bytes;
+  write_times_.add(sim::to_seconds(sim_->now() - w.started));
+  count(torn ? "torn_writes" : "writes");
+  if (metrics_ != nullptr) {
+    telemetry::observe(metrics_, metric_prefix_ + ".store.write_s",
+                       sim::to_seconds(sim_->now() - w.started));
+  }
+  // The writer learns nothing about the tear: its fsync "succeeded".
+  if (w.on_complete) w.on_complete(id);
 }
 
 void SharedStore::write_object(std::string name, std::uint64_t bytes,
                                std::uint64_t checksum,
                                std::function<void(ObjectId)> on_complete) {
-  const sim::Time started = sim_->now();
   // Reserve the id now so concurrent writers get distinct ids
   // deterministically in call order.
   const ObjectId id = next_id_++;
-  sim_->schedule_after(cfg_.op_overhead, [this, id, started,
-                                          name = std::move(name), bytes,
-                                          checksum,
-                                          cb = std::move(on_complete)]() mutable {
-    writes_.start(bytes, [this, id, started, name = std::move(name), bytes,
-                          checksum, cb = std::move(cb)] {
-      ObjectInfo info;
-      info.id = id;
-      info.name = name;
-      info.bytes = bytes;
-      info.checksum = checksum;
-      info.created_at = sim_->now();
-      objects_.emplace(id, info);
-      bytes_stored_ += bytes;
-      bytes_written_total_ += bytes;
-      write_times_.add(sim::to_seconds(sim_->now() - started));
-      telemetry::count(metrics_, "storage.store.writes");
-      telemetry::observe(metrics_, "storage.store.write_s",
-                         sim::to_seconds(sim_->now() - started));
-      if (cb) cb(id);
+  InflightWrite w;
+  w.name = std::move(name);
+  w.bytes = bytes;
+  w.checksum = checksum;
+  w.started = sim_->now();
+  w.on_complete = std::move(on_complete);
+  inflight_.emplace(id, std::move(w));
+  sim_->schedule_after(cfg_.op_overhead, [this, id] {
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end()) return;  // torn during the op overhead
+    it->second.transfer = writes_.start(it->second.bytes, [this, id] {
+      const auto wit = inflight_.find(id);
+      if (wit == inflight_.end()) return;
+      InflightWrite done = std::move(wit->second);
+      inflight_.erase(wit);
+      install(id, std::move(done), /*torn=*/false);
     });
   });
 }
@@ -61,6 +106,7 @@ ObjectId SharedStore::put_object(std::string name, std::uint64_t bytes,
   info.name = std::move(name);
   info.bytes = bytes;
   info.checksum = checksum;
+  info.stored_checksum = checksum;
   info.created_at = sim_->now();
   objects_.emplace(id, info);
   bytes_stored_ += bytes;
@@ -68,24 +114,33 @@ ObjectId SharedStore::put_object(std::string name, std::uint64_t bytes,
 }
 
 void SharedStore::read_object(ObjectId id,
-                              std::function<void(bool)> on_complete) {
+                              std::function<void(ReadError)> on_complete) {
   sim_->schedule_after(cfg_.op_overhead, [this, id,
                                           cb = std::move(on_complete)] {
     const auto it = objects_.find(id);
     if (it == objects_.end()) {
-      telemetry::count(metrics_, "storage.store.read_failures");
-      if (cb) cb(false);
+      count("read_failures");
+      if (cb) cb(ReadError::kNotFound);
       return;
     }
-    const std::uint64_t expect = it->second.checksum;
     const std::uint64_t bytes = it->second.bytes;
-    reads_.start(bytes, [this, id, expect, cb = std::move(cb)] {
+    reads_.start(bytes, [this, id, cb = std::move(cb)] {
+      // Re-verify after the transfer: the object may have been removed,
+      // corrupted, or identified as torn while the read streamed.
       const auto again = objects_.find(id);
-      const bool ok = again != objects_.end() &&
-                      again->second.checksum == expect;
-      telemetry::count(metrics_, ok ? "storage.store.reads"
-                                    : "storage.store.read_failures");
-      if (cb) cb(ok);
+      ReadError err = ReadError::kOk;
+      if (again == objects_.end()) {
+        err = ReadError::kNotFound;
+      } else if (again->second.torn) {
+        err = ReadError::kTorn;
+      } else if (again->second.stored_checksum != again->second.checksum) {
+        err = ReadError::kChecksumMismatch;
+      }
+      count(err == ReadError::kOk ? "reads" : "read_failures");
+      if (err == ReadError::kTorn || err == ReadError::kChecksumMismatch) {
+        count("verify_failures");
+      }
+      if (cb) cb(err);
     });
   });
 }
@@ -96,6 +151,35 @@ bool SharedStore::remove_object(ObjectId id) {
   bytes_stored_ -= it->second.bytes;
   objects_.erase(it);
   return true;
+}
+
+bool SharedStore::corrupt_object(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end() || it->second.torn) return false;
+  it->second.stored_checksum ^= kBitRot;
+  count("corruptions");
+  return true;
+}
+
+ObjectId SharedStore::nth_newest_object(std::size_t n) const {
+  if (n >= objects_.size()) return kInvalidObject;
+  // Ids are handed out monotonically, so id order is creation order.
+  std::vector<ObjectId> ids;
+  ids.reserve(objects_.size());
+  for (const auto& [id, info] : objects_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(), std::greater<>());
+  return ids[n];
+}
+
+std::size_t SharedStore::tear_inflight_writes() {
+  if (inflight_.empty()) return 0;
+  std::map<ObjectId, InflightWrite> dying = std::move(inflight_);
+  inflight_.clear();
+  for (auto& [id, w] : dying) {
+    if (w.transfer != kInvalidTransfer) writes_.cancel(w.transfer);
+    install(id, std::move(w), /*torn=*/true);
+  }
+  return dying.size();
 }
 
 std::optional<ObjectInfo> SharedStore::info(ObjectId id) const {

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -18,14 +20,29 @@ using ObjectId = std::uint64_t;
 
 inline constexpr ObjectId kInvalidObject = 0;
 
-/// Metadata of an object held by the store.
+/// Metadata of an object held by the store. `checksum` is the digest the
+/// writer declared; `stored_checksum` is the digest of the bytes actually
+/// on disk. They differ only after silent corruption, which is exactly
+/// what a verified read detects.
 struct ObjectInfo {
   ObjectId id = kInvalidObject;
   std::string name;
   std::uint64_t bytes = 0;
   std::uint64_t checksum = 0;
+  std::uint64_t stored_checksum = 0;
+  bool torn = false;  ///< a write died mid-stream; the object is partial
   sim::Time created_at = 0;
 };
+
+/// Why a verified read failed (kOk = it did not).
+enum class ReadError : std::uint8_t {
+  kOk,
+  kNotFound,          ///< no such object (never written, or removed)
+  kTorn,              ///< partial object left by an interrupted write
+  kChecksumMismatch,  ///< bytes present but silently corrupted
+};
+
+[[nodiscard]] std::string_view to_string(ReadError e) noexcept;
 
 /// Deterministic FNV-1a over the object identity; stands in for a real
 /// content digest so integrity checks have something to verify.
@@ -33,13 +50,17 @@ struct ObjectInfo {
                                                std::uint64_t b,
                                                std::uint64_t c) noexcept;
 
-/// The reliable shared store (NFS-server stand-in) that holds VM images and
+/// The shared store (NFS-server stand-in) that holds VM images and
 /// checkpoint sets. Reads and writes contend within separate bandwidth
 /// pools; every operation pays a fixed per-op overhead (RPC + fsync).
 ///
 /// The paper's §1 notes that single-node VC checkpointing needs "only a
 /// reliable storage system ... and an image management capability"; this
-/// class plus ImageManager is that substrate.
+/// class plus ImageManager is that substrate — and since real NFS servers
+/// are *not* perfectly reliable, the store also models the two classic
+/// durability failures: silent corruption (`corrupt_object`) and torn
+/// writes (`tear_inflight_writes`). Both are invisible at write time and
+/// detected by the digest verification every read performs.
 class SharedStore final {
  public:
   struct Config {
@@ -58,7 +79,10 @@ class SharedStore final {
   SharedStore& operator=(const SharedStore&) = delete;
 
   /// Streams `bytes` into a new object. `on_complete` receives the object
-  /// id once the data is durable.
+  /// id once the data is durable — or once the store *believes* it is: a
+  /// torn write (see tear_inflight_writes) also completes "successfully",
+  /// because a dying writer cannot tell its fsync never finished. The
+  /// damage surfaces at the next verified read.
   void write_object(std::string name, std::uint64_t bytes,
                     std::uint64_t checksum,
                     std::function<void(ObjectId)> on_complete);
@@ -68,12 +92,37 @@ class SharedStore final {
   ObjectId put_object(std::string name, std::uint64_t bytes,
                       std::uint64_t checksum);
 
-  /// Streams an object out. `on_complete` receives true iff the object
-  /// exists and its checksum verifies.
-  void read_object(ObjectId id, std::function<void(bool)> on_complete);
+  /// Streams an object out and verifies its digest against the one the
+  /// writer declared. `on_complete` receives kOk only for an existing,
+  /// whole, uncorrupted object.
+  void read_object(ObjectId id, std::function<void(ReadError)> on_complete);
 
   /// Drops an object (instantaneous metadata operation).
   bool remove_object(ObjectId id);
+
+  // ---- fault hooks (used by fault::FaultInjector) ------------------------
+
+  /// Silently flips bits in a stored object: its on-disk digest no longer
+  /// matches the declared one, so the next read reports kChecksumMismatch.
+  /// Returns false if the object does not exist (or is already torn).
+  bool corrupt_object(ObjectId id);
+
+  /// The `n`-th newest object (0 = newest) — what a corruption fault
+  /// targets, since freshly written checkpoint images are the objects
+  /// whose loss actually matters. kInvalidObject if out of range.
+  [[nodiscard]] ObjectId nth_newest_object(std::size_t n) const;
+
+  /// Kills every write currently in flight the way a dying NFS server
+  /// does: the partial object is installed (detectably torn) and each
+  /// writer's completion callback fires as if the write had succeeded.
+  /// Returns the number of writes torn.
+  std::size_t tear_inflight_writes();
+
+  [[nodiscard]] std::size_t inflight_writes() const noexcept {
+    return inflight_.size();
+  }
+
+  // ---- introspection -----------------------------------------------------
 
   [[nodiscard]] std::optional<ObjectInfo> info(ObjectId id) const;
   [[nodiscard]] std::size_t object_count() const noexcept {
@@ -91,10 +140,13 @@ class SharedStore final {
   [[nodiscard]] BandwidthPool& read_pool() noexcept { return reads_; }
 
   /// Attaches an optional metrics registry: wires both bandwidth pools
-  /// (`storage.write_pool.*` / `storage.read_pool.*`) and records
+  /// (`<prefix>.write_pool.*` / `<prefix>.read_pool.*`) and records
   /// store-level op counts plus the durable-write latency histogram
-  /// `storage.store.write_s`.
-  void set_metrics(telemetry::MetricsRegistry* m);
+  /// `<prefix>.store.write_s`. The default prefix keeps the historical
+  /// `storage.*` names; replica stores pass their own prefix so their
+  /// counters stay distinguishable.
+  void set_metrics(telemetry::MetricsRegistry* m,
+                   std::string prefix = "storage");
 
   /// Observed write completion times (seconds), for bench reporting.
   [[nodiscard]] const sim::SummaryStats& write_time_stats() const noexcept {
@@ -102,16 +154,32 @@ class SharedStore final {
   }
 
  private:
+  struct InflightWrite {
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
+    sim::Time started = 0;
+    TransferId transfer = kInvalidTransfer;  ///< invalid during op_overhead
+    std::function<void(ObjectId)> on_complete;
+  };
+
+  void install(ObjectId id, InflightWrite&& w, bool torn);
+  void count(const char* metric) const;
+
   sim::Simulation* sim_;
   Config cfg_;
   BandwidthPool writes_;
   BandwidthPool reads_;
   ObjectId next_id_ = 1;
   std::unordered_map<ObjectId, ObjectInfo> objects_;
+  /// Writes between write_object and durability, id-ordered so a tear
+  /// kills them deterministically in start order.
+  std::map<ObjectId, InflightWrite> inflight_;
   std::uint64_t bytes_stored_ = 0;
   std::uint64_t bytes_written_total_ = 0;
   sim::SummaryStats write_times_{/*keep_samples=*/true};
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  std::string metric_prefix_ = "storage";
 };
 
 }  // namespace dvc::storage

@@ -152,8 +152,11 @@ void Hypervisor::restore_domain(VirtualMachine& vm,
   const sim::Time begin = sim_->now();
   const auto span = telemetry::begin_span(metrics_, begin, track_, "restore");
   const std::uint64_t image_bytes = image->bytes;
-  images.store().read_object(
-      image->object,
+  // Verified read with replica failover: the image manager tries every
+  // copy and reports false only when none verifies (the set is then
+  // marked damaged, which recovery uses to fall back a generation).
+  images.read_member(
+      set, member,
       [this, &vm, begin, span, image_bytes, state = std::move(app_state),
        cb = std::move(on_done)](bool ok) mutable {
         if (!ok || node_failed()) {

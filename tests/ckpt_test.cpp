@@ -148,6 +148,59 @@ TEST(LedgerTest, DetectsDuplicateAndReorder) {
   EXPECT_FALSE(phantom.check(true).consistent);
 }
 
+TEST(LedgerTest, RollbackReexecutionIsNotDuplicateDelivery) {
+  // A VC restored from an *older* checkpoint generation re-executes work
+  // recorded after that cut: the same message ids are sent and delivered
+  // again. With the rollback noted, the ledger collapses the re-execution
+  // onto the first occurrence instead of flagging duplicates.
+  MessageLedger l;
+  for (int i = 1; i <= 4; ++i) {
+    l.record_send(0, 1, i);
+    l.record_delivery(0, 1, i);
+  }
+  l.note_rollback();  // cut taken after message 2; work 3..4 re-runs
+  for (int i = 3; i <= 6; ++i) {
+    l.record_send(0, 1, i);
+    l.record_delivery(0, 1, i);
+  }
+  EXPECT_TRUE(l.check().consistent);
+  EXPECT_EQ(l.epoch(), 1u);
+  // Raw totals still count every event; collapse happens only in check().
+  EXPECT_EQ(l.total_sent(), 8u);
+  EXPECT_EQ(l.total_delivered(), 8u);
+}
+
+TEST(LedgerTest, TwoFallbacksDeepReexecutionStaysConsistent) {
+  // Generation fallback can roll back twice (newest generation damaged,
+  // walk to the one before): ids may repeat once per epoch.
+  MessageLedger l;
+  l.record_send(0, 1, 1);
+  l.record_delivery(0, 1, 1);
+  l.note_rollback();
+  l.record_send(0, 1, 1);
+  l.record_delivery(0, 1, 1);
+  l.note_rollback();
+  l.record_send(0, 1, 1);
+  l.record_send(0, 1, 2);
+  l.record_delivery(0, 1, 1);
+  l.record_delivery(0, 1, 2);
+  EXPECT_TRUE(l.check().consistent);
+  EXPECT_EQ(l.epoch(), 2u);
+}
+
+TEST(LedgerTest, DuplicateWithinAnEpochStillFails) {
+  // note_rollback() is not an amnesty: a genuine duplicate delivery inside
+  // the re-execution epoch is still a consistency violation.
+  MessageLedger l;
+  l.record_send(0, 1, 1);
+  l.record_delivery(0, 1, 1);
+  l.note_rollback();
+  l.record_send(0, 1, 1);
+  l.record_delivery(0, 1, 1);
+  l.record_delivery(0, 1, 1);  // delivered twice in epoch 1
+  EXPECT_FALSE(l.check(true).consistent);
+}
+
 // ---------------------------------------------------------------------------
 // Coordinated checkpointing end-to-end
 

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "core/dvc_manager.hpp"
+#include "testbed.hpp"
+
+namespace dvc {
+namespace {
+
+using test::TestBed;
+using test::TestBedOptions;
+
+app::WorkloadSpec steady_job(app::RankId ranks, std::uint32_t iters) {
+  app::WorkloadSpec s;
+  s.name = "durability-test";
+  s.ranks = ranks;
+  s.iterations = iters;
+  s.flops_per_rank_iter = 1e9;  // ~0.1 s of compute per iteration
+  s.pattern = app::Pattern::kAllToAll;
+  s.bytes_per_msg = 4096;
+  return s;
+}
+
+/// A VC + application + auto-recovery stack, optionally with checkpoint
+/// replication, for exercising the durability layer end to end: damage is
+/// planted in the image store and recovery must either mask it (replicas),
+/// walk back a generation (fallback), or diagnose the loss (kFailed).
+struct DurabilityStack {
+  DurabilityStack(std::uint32_t nodes, std::uint32_t vc_size,
+                  std::uint32_t iters,
+                  core::DvcManager::RecoveryPolicy base_policy,
+                  std::uint32_t store_replicas = 0, std::uint64_t seed = 26)
+      : bed(make_options(nodes, seed, store_replicas)),
+        lsc(bed.sim, {}, sim::Rng(seed ^ 0x15C)) {
+    lsc.set_metrics(&bed.metrics);
+    core::VcSpec spec;
+    spec.name = "dur-vc";
+    spec.size = vc_size;
+    spec.guest.ram_bytes = 128ull << 20;
+    vc = &bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(vc_size), {});
+    bed.sim.run_until(20 * sim::kSecond);  // boot completes at 15 s
+    application = std::make_unique<app::ParallelApp>(
+        bed.sim, bed.fabric.network(), vc->contexts(),
+        steady_job(vc_size, iters));
+    bed.dvc->attach_app(*vc, *application);
+    application->start();
+    base_policy.coordinator = &lsc;
+    bed.dvc->enable_auto_recovery(*vc, base_policy);
+  }
+
+  static TestBedOptions make_options(std::uint32_t nodes, std::uint64_t seed,
+                                     std::uint32_t store_replicas) {
+    TestBedOptions o;
+    o.clusters = 1;
+    o.nodes_per_cluster = nodes;
+    o.seed = seed;
+    o.store.write_bps = 200e6;
+    o.store.read_bps = 400e6;
+    o.store_replicas = store_replicas;
+    o.hv.abort_saves_on_failure = true;
+    return o;
+  }
+
+  /// Flips the stored digest of every *primary* object a generation's
+  /// restore chain would read. Replica copies are left intact.
+  std::size_t corrupt_generation(const core::VcGeneration& gen) {
+    std::size_t corrupted = 0;
+    for (const storage::CheckpointSetId sid : gen.chain) {
+      const storage::CheckpointSet* s = bed.images.find_set(sid);
+      if (s == nullptr) continue;
+      for (const auto& m : s->members) {
+        if (bed.store.corrupt_object(m.object)) ++corrupted;
+      }
+    }
+    return corrupted;
+  }
+
+  TestBed bed;
+  ckpt::NtpLscCoordinator lsc;
+  core::VirtualCluster* vc = nullptr;
+  std::unique_ptr<app::ParallelApp> application;
+};
+
+// ---------------------------------------------------------------------------
+// Bit rot hits every image of the newest checkpoint generation. The restore
+// detects it (digest verification), marks the set damaged, and falls back to
+// the previous verified generation — the job re-runs a little more work but
+// still completes every iteration.
+
+TEST(DurabilityTest, CorruptNewestGenerationFallsBackAndCompletes) {
+  core::DvcManager::RecoveryPolicy policy;
+  policy.interval = 20 * sim::kSecond;
+  policy.watchdog_interval = 7 * sim::kSecond;
+  policy.keep_checkpoints = 2;
+  DurabilityStack s(/*nodes=*/8, /*vc=*/6, /*iters=*/600, policy);
+
+  bool armed = false;
+  s.bed.sim.schedule_after(72 * sim::kSecond, [&] {
+    // Two periodic rounds (at ~40 s and ~60 s) have sealed by now.
+    ASSERT_GE(s.vc->generations().size(), 2u);
+    EXPECT_GT(s.corrupt_generation(s.vc->generations().back()), 0u);
+    armed = true;
+    s.vc->machine(3).kill();  // watchdog-visible failure forces a restore
+  });
+
+  s.bed.sim.run_until(500 * sim::kSecond);
+  ASSERT_TRUE(armed);
+  EXPECT_GE(s.bed.dvc->restore_fallbacks(), 1u);
+  EXPECT_GE(s.bed.metrics.counter_value("core.dvc.restore_fallbacks"), 1u);
+  EXPECT_GT(s.bed.metrics.counter_value("storage.store.verify_failures"),
+            0u);
+  EXPECT_GT(s.bed.metrics.counter_value("storage.images.sets_damaged"), 0u);
+  // The older generation carried the job home.
+  EXPECT_TRUE(s.application->completed());
+  EXPECT_FALSE(s.application->failed());
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(s.application->rank(i).state().iter, 600u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Same damage, but the checkpoint writes were torn mid-flight (the store
+// died during the drain) instead of rotted at rest. The set still *sealed* —
+// a torn write is silent at write time — so only restore-time verification
+// can catch it.
+
+TEST(DurabilityTest, TornNewestGenerationIsCaughtAtRestoreAndFallsBack) {
+  core::DvcManager::RecoveryPolicy policy;
+  policy.interval = 300 * sim::kSecond;  // manual rounds only
+  policy.watchdog_interval = 7 * sim::kSecond;
+  policy.keep_checkpoints = 2;
+  DurabilityStack s(/*nodes=*/8, /*vc=*/6, /*iters=*/600, policy);
+
+  // Generation 1: a clean manual round at 30 s.
+  s.bed.sim.schedule_at(30 * sim::kSecond, [&] {
+    s.bed.dvc->checkpoint_vc(*s.vc, s.lsc, {});
+  });
+  // Generation 2 at 50 s, torn while its images drain: poll from 52 s until
+  // the store actually has writes in flight (deterministic — the sim replays
+  // identically every run).
+  int torn = 0;
+  auto tear = std::make_shared<std::function<void()>>();
+  *tear = [&s, &torn, tear] {
+    torn += static_cast<int>(s.bed.store.tear_inflight_writes());
+    if (torn == 0 && s.bed.sim.now() < 65 * sim::kSecond) {
+      s.bed.sim.schedule_after(sim::kSecond / 5, [tear] { (*tear)(); });
+    }
+  };
+  s.bed.sim.schedule_at(50 * sim::kSecond, [&] {
+    s.bed.dvc->checkpoint_vc(*s.vc, s.lsc, {});
+  });
+  s.bed.sim.schedule_at(52 * sim::kSecond, [tear] { (*tear)(); });
+
+  bool armed = false;
+  s.bed.sim.schedule_at(72 * sim::kSecond, [&] {
+    ASSERT_EQ(s.vc->generations().size(), 2u);
+    armed = true;
+    s.vc->machine(1).kill();
+  });
+
+  s.bed.sim.run_until(500 * sim::kSecond);
+  ASSERT_TRUE(armed);
+  EXPECT_GT(torn, 0);  // the tear really hit in-flight checkpoint writes
+  EXPECT_GT(s.bed.metrics.counter_value("storage.store.torn_writes"), 0u);
+  EXPECT_GE(s.bed.dvc->restore_fallbacks(), 1u);
+  EXPECT_TRUE(s.application->completed());
+  EXPECT_FALSE(s.application->failed());
+}
+
+// ---------------------------------------------------------------------------
+// With k >= 2 replication, losing one store's copy of the newest generation
+// is masked entirely: restore fails over to the replica, no generation is
+// sacrificed, and the job loses nothing beyond the normal rollback.
+
+TEST(DurabilityTest, ReplicationMasksPrimaryCorruptionWithZeroFallbacks) {
+  core::DvcManager::RecoveryPolicy policy;
+  policy.interval = 20 * sim::kSecond;
+  policy.watchdog_interval = 7 * sim::kSecond;
+  policy.keep_checkpoints = 2;
+  DurabilityStack s(/*nodes=*/8, /*vc=*/6, /*iters=*/600, policy,
+                    /*store_replicas=*/1);
+
+  bool armed = false;
+  s.bed.sim.schedule_after(72 * sim::kSecond, [&] {
+    ASSERT_GE(s.vc->generations().size(), 2u);
+    EXPECT_GT(s.corrupt_generation(s.vc->generations().back()), 0u);
+    armed = true;
+    s.vc->machine(3).kill();
+  });
+
+  s.bed.sim.run_until(500 * sim::kSecond);
+  ASSERT_TRUE(armed);
+  EXPECT_GT(s.bed.metrics.counter_value("storage.replica.failovers"), 0u);
+  EXPECT_EQ(s.bed.dvc->restore_fallbacks(), 0u);  // damage fully masked
+  EXPECT_EQ(s.bed.metrics.counter_value("storage.images.sets_damaged"), 0u);
+  EXPECT_TRUE(s.application->completed());
+  EXPECT_FALSE(s.application->failed());
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(s.application->rank(i).state().iter, 600u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Every retained generation is damaged: recovery walks the whole history,
+// finds nothing restorable, and abandons with a diagnosis — VC in kFailed,
+// application marked failed — instead of wedging in an endless retry loop.
+
+TEST(DurabilityTest, AbandonsWithDiagnosisWhenEveryGenerationIsDamaged) {
+  core::DvcManager::RecoveryPolicy policy;
+  policy.interval = 20 * sim::kSecond;
+  policy.watchdog_interval = 7 * sim::kSecond;
+  policy.keep_checkpoints = 2;
+  // Far more iterations than the run window: the job cannot complete, so
+  // the only acceptable outcome is an explicit failure diagnosis.
+  DurabilityStack s(/*nodes=*/8, /*vc=*/4, /*iters=*/50000, policy);
+
+  bool armed = false;
+  s.bed.sim.schedule_after(72 * sim::kSecond, [&] {
+    ASSERT_GE(s.vc->generations().size(), 2u);
+    for (const auto& gen : s.vc->generations()) {
+      EXPECT_GT(s.corrupt_generation(gen), 0u);
+    }
+    armed = true;
+    s.vc->machine(1).kill();
+  });
+
+  s.bed.sim.run_until(400 * sim::kSecond);
+  ASSERT_TRUE(armed);
+  EXPECT_GE(s.bed.dvc->recoveries_abandoned(), 1u);
+  EXPECT_GE(s.bed.metrics.counter_value("core.dvc.recoveries_abandoned"),
+            1u);
+  EXPECT_EQ(s.vc->state(), core::VcState::kFailed);
+  EXPECT_TRUE(s.application->failed());
+  EXPECT_FALSE(s.application->completed());
+}
+
+}  // namespace
+}  // namespace dvc

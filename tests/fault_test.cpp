@@ -166,7 +166,7 @@ TestBedOptions two_cluster_opts() {
 }
 
 FaultInjector::Hooks hooks_for(TestBed& bed) {
-  return FaultInjector::Hooks{&bed.fabric, &bed.store, bed.time.get()};
+  return FaultInjector::Hooks{&bed.fabric, &bed.store, bed.time.get(), {}};
 }
 
 TEST(FaultInjectorTest, NodeCrashFailsAndRebootsTheNode) {
@@ -267,7 +267,7 @@ TEST(FaultInjectorTest, UnappliableEventsAreCountedAsSkipped) {
   // No store hook: disk events cannot be applied.
   FaultInjector inj(bed.sim,
                     FaultInjector::Hooks{&bed.fabric, nullptr,
-                                         bed.time.get()},
+                                         bed.time.get(), {}},
                     &bed.metrics);
   inj.arm(FaultPlan::parse_script(
       "5 diskslow 4 10; 6 crash 99; 7 crash 1 30; 8 crash 1 30"));

@@ -34,9 +34,9 @@ TEST(ScenarioConfigTest, RejectsMalformedInput) {
                std::invalid_argument);
   EXPECT_THROW(ScenarioConfig::parse("= value\n"), std::invalid_argument);
   const auto cfg = ScenarioConfig::parse("n = twelve\nb = maybe\n");
-  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
-  EXPECT_THROW(cfg.get_double("n", 0.0), std::invalid_argument);
-  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+  EXPECT_THROW((void)cfg.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cfg.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cfg.get_bool("b", false), std::invalid_argument);
 }
 
 TEST(ScenarioConfigTest, MalformedLineReportsLineNumber) {
@@ -59,9 +59,9 @@ TEST(ScenarioConfigTest, BadNumericsNameTheKeyAndValue) {
       EXPECT_NE(std::string(e.what()).find(key), std::string::npos);
     }
   }
-  EXPECT_THROW(cfg.get_double("ratio", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cfg.get_double("ratio", 0.0), std::invalid_argument);
   // Trailing garbage after a valid prefix must not parse as the prefix.
-  EXPECT_THROW(cfg.get_int("count", 0), std::invalid_argument);
+  EXPECT_THROW((void)cfg.get_int("count", 0), std::invalid_argument);
 }
 
 TEST(ScenarioConfigTest, ValidateKeysRejectsUnknownKey) {

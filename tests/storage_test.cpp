@@ -139,19 +139,80 @@ TEST(SharedStoreTest, WriteThenReadVerifiesChecksum) {
   const auto info = store.info(id);
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->bytes, 1u << 20);
-  bool ok = false;
-  store.read_object(id, [&](bool r) { ok = r; });
+  ReadError err = ReadError::kNotFound;
+  store.read_object(id, [&](ReadError r) { err = r; });
   s.run();
-  EXPECT_TRUE(ok);
+  EXPECT_EQ(err, ReadError::kOk);
 }
 
 TEST(SharedStoreTest, ReadOfMissingObjectFails) {
   sim::Simulation s;
   SharedStore store(s, {});
-  bool ok = true;
-  store.read_object(12345, [&](bool r) { ok = r; });
+  ReadError err = ReadError::kOk;
+  store.read_object(12345, [&](ReadError r) { err = r; });
   s.run();
-  EXPECT_FALSE(ok);
+  EXPECT_EQ(err, ReadError::kNotFound);
+}
+
+TEST(SharedStoreTest, CorruptionIsDetectedOnRead) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ObjectId id = kInvalidObject;
+  store.write_object("img", 1 << 20, synthetic_checksum(7, 7, 7),
+                     [&](ObjectId oid) { id = oid; });
+  s.run();
+  ASSERT_TRUE(store.corrupt_object(id));
+  ReadError err = ReadError::kOk;
+  store.read_object(id, [&](ReadError r) { err = r; });
+  s.run();
+  EXPECT_EQ(err, ReadError::kChecksumMismatch);
+  // Corruption is silent at rest: the object still lists as present.
+  EXPECT_TRUE(store.info(id).has_value());
+}
+
+TEST(SharedStoreTest, TornWriteCompletesSilentlyButFailsVerify) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  ObjectId id = kInvalidObject;
+  store.write_object("img", 8 << 20, synthetic_checksum(1, 1, 1),
+                     [&](ObjectId oid) { id = oid; });
+  // Kill the store mid-write: the writer still gets a completion (it
+  // cannot know the fsync never landed) ...
+  s.schedule_after(sim::from_seconds(0.01),
+                   [&] { EXPECT_EQ(store.tear_inflight_writes(), 1u); });
+  s.run();
+  ASSERT_NE(id, kInvalidObject);
+  ASSERT_TRUE(store.info(id).has_value());
+  EXPECT_TRUE(store.info(id)->torn);
+  // ... and the damage only surfaces at the next verified read.
+  ReadError err = ReadError::kOk;
+  store.read_object(id, [&](ReadError r) { err = r; });
+  s.run();
+  EXPECT_EQ(err, ReadError::kTorn);
+}
+
+TEST(SharedStoreTest, TearWithNothingInFlightIsANoOp) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  store.write_object("img", 1000, 1, [](ObjectId) {});
+  s.run();  // write completes cleanly first
+  EXPECT_EQ(store.tear_inflight_writes(), 0u);
+}
+
+TEST(SharedStoreTest, NthNewestTargetsMostRecentWrites) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 3; ++i) {
+    store.write_object("img", 1000, 1, [&](ObjectId oid) {
+      ids.push_back(oid);
+    });
+    s.run();
+  }
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(store.nth_newest_object(0), ids[2]);
+  EXPECT_EQ(store.nth_newest_object(2), ids[0]);
+  EXPECT_EQ(store.nth_newest_object(3), kInvalidObject);
 }
 
 TEST(SharedStoreTest, RemoveReclaimsBytes) {
@@ -283,6 +344,81 @@ TEST(ImageManagerTest, StageOfUnsealedSetFails) {
   mgr.stage_set(set, [&](bool r) { ok = r; });
   s.run();
   EXPECT_FALSE(ok);
+}
+
+TEST(ImageManagerTest, ReplicationCopiesMembersWithoutGatingSeal) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  SharedStore replica(s, {});
+  ImageManager mgr(store);
+  mgr.add_replica(replica);
+  ASSERT_EQ(mgr.replica_count(), 1u);
+  const auto set = mgr.open_set("vc", 2);
+  bool sealed = false;
+  mgr.on_sealed(set, [&] { sealed = true; });
+  mgr.add_member(set, 0, 1 << 20);
+  mgr.add_member(set, 1, 1 << 20);
+  s.run();
+  EXPECT_TRUE(sealed);
+  // Both the primary and the replica hold every member's bytes.
+  EXPECT_EQ(store.bytes_stored(), 2u << 20);
+  EXPECT_EQ(replica.bytes_stored(), 2u << 20);
+  for (const auto& m : mgr.find_set(set)->members) {
+    ASSERT_EQ(m.replicas.size(), 1u);
+    EXPECT_NE(m.replicas[0], kInvalidObject);
+  }
+}
+
+TEST(ImageManagerTest, ReadMemberFailsOverToReplicaOnPrimaryDamage) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  SharedStore replica(s, {});
+  ImageManager mgr(store);
+  mgr.add_replica(replica);
+  const auto set = mgr.open_set("vc", 1);
+  mgr.add_member(set, 0, 1 << 20);
+  s.run();  // primary write + async replica copy both land
+  ASSERT_TRUE(store.corrupt_object(mgr.find_set(set)->members[0].object));
+  bool ok = false;
+  mgr.read_member(set, 0, [&](bool r) { ok = r; });
+  s.run();
+  EXPECT_TRUE(ok);  // the replica masked the bit rot
+  EXPECT_FALSE(mgr.find_set(set)->damaged);
+}
+
+TEST(ImageManagerTest, SetDamagedWhenEveryCopyFailsVerification) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  SharedStore replica(s, {});
+  ImageManager mgr(store);
+  mgr.add_replica(replica);
+  const auto set = mgr.open_set("vc", 1);
+  mgr.add_member(set, 0, 1 << 20);
+  s.run();
+  const MemberImage& m = mgr.find_set(set)->members[0];
+  ASSERT_TRUE(store.corrupt_object(m.object));
+  ASSERT_TRUE(replica.corrupt_object(m.replicas[0]));
+  bool ok = true;
+  mgr.read_member(set, 0, [&](bool r) { ok = r; });
+  s.run();
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(mgr.find_set(set)->damaged);
+}
+
+TEST(ImageManagerTest, DiscardReclaimsReplicaObjectsToo) {
+  sim::Simulation s;
+  SharedStore store(s, {});
+  SharedStore replica(s, {});
+  ImageManager mgr(store);
+  mgr.add_replica(replica);
+  const auto set = mgr.open_set("vc", 2);
+  mgr.add_member(set, 0, 1000);
+  mgr.add_member(set, 1, 1000);
+  s.run();
+  ASSERT_GT(replica.bytes_stored(), 0u);
+  mgr.discard_set(set);
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_EQ(replica.bytes_stored(), 0u);
 }
 
 TEST(ImageManagerTest, PruneKeepsNewestSets) {

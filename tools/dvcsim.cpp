@@ -22,6 +22,9 @@
 //   iter_seconds          compute seconds per iteration (default 0.5)
 //   checkpoint_interval_s periodic LSC interval (default 300)
 //   incremental           dirty-only checkpoints (default false)
+//   store_replicas        extra checkpoint-store replicas, k-1 (default 0)
+//   keep_checkpoints      retained recovery generations (default 2)
+//   max_restore_retries   restore failures tolerated per point (default 4)
 //   mtbf_per_node_s       0 disables failures (default 0)
 //   repair_s              node repair time (default 1800)
 //   predicted_fraction    share of faults announced early (default 0)
@@ -48,6 +51,8 @@
 //   fault.disk_slow_factor  bandwidth divisor while slowed (default 10)
 //   fault.clock_step_mtbf_s mean gap between host clock steps
 //   fault.clock_step_ms     max |step| in milliseconds (default 500)
+//   fault.store_corrupt_mtbf_s mean gap between silent image corruptions
+//   fault.store_tear_mtbf_s    mean gap between torn-write store deaths
 //
 // Recovery-tuning keys:
 //
@@ -98,6 +103,8 @@ core::MachineRoomOptions room_options(const tools::ScenarioConfig& cfg) {
   o.store.read_bps = 2 * write_mbps * 1e6;
   o.hv.abort_saves_on_failure =
       cfg.get_bool("abort_saves_on_failure", false);
+  o.store_replicas =
+      static_cast<std::uint32_t>(cfg.get_int("store_replicas", 0));
   return o;
 }
 
@@ -184,18 +191,25 @@ void arm_faults(Scenario& sc) {
       sc.cfg.get_double("fault.clock_step_mtbf_s", 0.0));
   spec.clock_step_max = static_cast<sim::Duration>(
       sc.cfg.get_double("fault.clock_step_ms", 500.0) * sim::kMillisecond);
+  spec.store_corrupt_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.store_corrupt_mtbf_s", 0.0));
+  spec.store_tear_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.store_tear_mtbf_s", 0.0));
   if (spec.horizon > 0) {
     const auto fault_seed = static_cast<std::uint64_t>(sc.cfg.get_int(
         "fault.seed", static_cast<std::int64_t>(sc.seed)));
     plan.sample(spec,
                 static_cast<std::uint32_t>(sc.room.fabric.node_count()),
                 static_cast<std::uint32_t>(sc.room.fabric.cluster_count()),
-                sim::Rng(fault_seed));
+                sim::Rng(fault_seed),
+                static_cast<std::uint32_t>(
+                    1 + sc.room.replica_stores.size()));
   }
   sc.injector = std::make_unique<fault::FaultInjector>(
       sc.room.sim,
       fault::FaultInjector::Hooks{&sc.room.fabric, &sc.room.store,
-                                  sc.room.time.get()},
+                                  sc.room.time.get(),
+                                  sc.room.replica_ptrs()},
       &sc.room.metrics);
   sc.injector->arm(plan);
   std::printf("fault injector:  %zu events armed\n", plan.size());
@@ -270,6 +284,18 @@ void print_summary(Scenario& sc) {
                         "ckpt.lsc.round_timeouts")),
                 static_cast<unsigned long long>(
                     sc.room.dvc->watchdog_detections()));
+    std::printf("durability:      %llu verify failures, %llu replica"
+                " failovers, %llu generation fallbacks, %llu abandoned\n",
+                static_cast<unsigned long long>(
+                    sc.room.metrics.counter_value(
+                        "storage.store.verify_failures")),
+                static_cast<unsigned long long>(
+                    sc.room.metrics.counter_value(
+                        "storage.replica.failovers")),
+                static_cast<unsigned long long>(
+                    sc.room.dvc->restore_fallbacks()),
+                static_cast<unsigned long long>(
+                    sc.room.dvc->recoveries_abandoned()));
   }
 }
 
@@ -282,15 +308,39 @@ int run_reliability(Scenario& sc) {
   policy.proactive_migration = sc.cfg.get_bool("proactive", false);
   policy.watchdog_interval =
       sim::from_seconds(sc.cfg.get_double("watchdog_interval_s", 0.0));
+  policy.keep_checkpoints = static_cast<std::size_t>(
+      sc.cfg.get_int("keep_checkpoints", 2));
+  policy.max_restore_retries =
+      static_cast<int>(sc.cfg.get_int("max_restore_retries", 4));
   sc.room.dvc->enable_auto_recovery(*sc.vc, policy);
   arm_failures(sc);
 
   while (!sc.application->completed() &&
          sc.room.sim.now() < 100 * sim::kHour) {
+    if (sc.application->failed() ||
+        sc.vc->state() == core::VcState::kFailed) {
+      break;  // recovery abandoned — no point simulating the wreck further
+    }
     sc.room.sim.run_until(sc.room.sim.now() + 10 * sim::kSecond);
   }
   print_summary(sc);
-  return sc.application->completed() ? 0 : 1;
+  if (!sc.application->completed()) {
+    // A reliability run that ends without finishing the job is a failure:
+    // either recovery gave up with a diagnosis (kFailed) or the VC wedged
+    // until the horizon. Exit nonzero so CI and scripts notice.
+    const char* why = "did not complete by the simulation horizon";
+    if (sc.vc->state() == core::VcState::kFailed) {
+      why = "recovery abandoned (every generation damaged or retries"
+            " exhausted)";
+    } else if (sc.application->failed()) {
+      why = "application failed without a successful recovery";
+    } else if (sc.vc->state() == core::VcState::kRecovering) {
+      why = "wedged in recovery at the horizon";
+    }
+    std::printf("UNRECOVERED VC:  %s\n", why);
+    return 1;
+  }
+  return 0;
 }
 
 int run_checkpoint(Scenario& sc) {
@@ -421,12 +471,14 @@ int main(int argc, char** argv) {
         "iterations", "iter_seconds", "mtbf_per_node_s", "repair_s",
         "predicted_fraction", "prediction_lead_s", "checkpoint_interval_s",
         "incremental", "proactive", "migrate_at_s", "live", "metrics_json",
-        "chrome_trace", "fault.enabled", "fault.seed", "fault.script",
+        "chrome_trace", "store_replicas", "keep_checkpoints",
+        "max_restore_retries", "fault.enabled", "fault.seed", "fault.script",
         "fault.horizon_s", "fault.node_crash_mtbf_s", "fault.node_down_s",
         "fault.link_down_mtbf_s", "fault.link_down_s",
         "fault.disk_slow_mtbf_s", "fault.disk_slow_s",
         "fault.disk_slow_factor", "fault.clock_step_mtbf_s",
-        "fault.clock_step_ms", "lsc.round_timeout_s",
+        "fault.clock_step_ms", "fault.store_corrupt_mtbf_s",
+        "fault.store_tear_mtbf_s", "lsc.round_timeout_s",
         "lsc.max_round_retries", "lsc.retry_backoff_s",
         "watchdog_interval_s", "abort_saves_on_failure",
     });
