@@ -5,6 +5,7 @@
 // the same cuts lose the message — the inconsistent case of figure 2.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -137,6 +138,51 @@ CutOutcome run_unreliable(bool cut_after_delivery) {
   return out;
 }
 
+/// Scenario 3 (partition fault class): the inter-cluster link partitions
+/// with the message in flight. No NIC goes dark — the packet dies on the
+/// wire. The partition heals 10 s later, inside the transport retry
+/// budget, so the reliable transport masks it by retransmitting across
+/// the healed link; the datagram is simply gone.
+CutOutcome run_partition(bool reliable_transport) {
+  sim::Simulation sim;
+  auto link = std::make_shared<net::ClusterLinkModel>(
+      net::ClusterLinkModel::Config{});
+  net::Network net(sim, link, sim::Rng(1));
+  const net::HostId ha = net.new_host();
+  const net::HostId hb = net.new_host();
+  link->set_cluster(hb, 1);
+
+  link->set_pair_override(0, 1, {.cut = true});
+  sim.schedule_after(10 * sim::kSecond,
+                     [&] { link->clear_pair_override(0, 1); });
+
+  CutOutcome out;
+  if (reliable_transport) {
+    net::ReliableEndpoint a(sim, net, {ha, 1}, {hb, 1});
+    net::ReliableEndpoint b(sim, net, {hb, 1}, {ha, 1});
+    ckpt::MessageLedger ledger;
+    b.set_delivery_handler([&](const net::Message& m) {
+      ledger.record_delivery(0, 1, m.id);
+    });
+    const std::uint64_t id = a.send(1024);
+    ledger.record_send(0, 1, id);
+    sim.run();
+    out.sent = ledger.total_sent();
+    out.delivered = ledger.total_delivered();
+    out.duplicates = b.duplicates_discarded();
+    out.consistent = ledger.check().consistent && !a.failed() && !b.failed();
+  } else {
+    Datagrams a(net, {ha, 1}, {hb, 1});
+    Datagrams b(net, {hb, 1}, {ha, 1});
+    a.send(1);
+    sim.run();
+    out.sent = 1;
+    out.delivered = b.received;
+    out.consistent = b.received == 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,6 +219,26 @@ int main(int argc, char** argv) {
                     {"consistent", out.consistent ? 1.0 : 0.0},
                     {"duplicates", static_cast<double>(out.duplicates)}};
     rows.push_back(std::move(row));
+  }
+  // Opt-in partition rows (same gate as the other fault benches, keeping
+  // the default table byte-stable): scenario 3 exercises the partition
+  // fault class instead of dark NICs.
+  if (std::getenv("DVC_INJECT_FAULTS") != nullptr) {
+    for (const bool reliable : {true, false}) {
+      const CutOutcome out = run_partition(reliable);
+      table.add_row({"3: 10 s partition", reliable ? "reliable (TCP)"
+                                                   : "datagram",
+                     std::to_string(out.sent), std::to_string(out.delivered),
+                     std::to_string(out.duplicates),
+                     out.consistent ? "yes" : "NO (lost)"});
+      MetricRow row;
+      row.name = std::string("fig2/partition/") +
+                 (reliable ? "tcp" : "datagram");
+      row.counters = {{"delivered", static_cast<double>(out.delivered)},
+                      {"consistent", out.consistent ? 1.0 : 0.0},
+                      {"duplicates", static_cast<double>(out.duplicates)}};
+      rows.push_back(std::move(row));
+    }
   }
   table.print("F2  cut consistency by transport");
 

@@ -48,7 +48,7 @@ Outcome run(sim::Duration watchdog_period, int cycles,
     plan.add(slow);
     injector.emplace(room.sim,
                      fault::FaultInjector::Hooks{&room.fabric, &room.store,
-                                                 room.time.get(), {}},
+                                                 room.time.get(), {}, {}},
                      &room.metrics);
     injector->arm(plan);
   }

@@ -49,6 +49,10 @@ struct Outcome {
   std::uint64_t verify_failures = 0;  // damaged images caught at restore
   std::uint64_t failovers = 0;        // reads served by a replica
   std::uint64_t fallbacks = 0;        // restores from an older generation
+  std::uint64_t coordinator_crashes = 0;
+  std::uint64_t coordinator_reboots = 0;
+  std::uint64_t fenced_writes = 0;    // deposed-epoch mutations rejected
+  std::uint64_t partitions = 0;       // network partitions injected
 };
 
 void arm_repairs(core::MachineRoom& room) {
@@ -126,9 +130,15 @@ Outcome run_restart_from_scratch(std::uint64_t seed) {
 /// store); `replicas` adds k-1 asynchronous store replicas.
 Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
                 bool inject_faults = false, bool storage_faults = false,
-                std::uint32_t replicas = 0) {
+                std::uint32_t replicas = 0, bool control_faults = false) {
   core::MachineRoomOptions opt = room_options(seed);
   opt.store_replicas = replicas;
+  if (control_faults) {
+    // Same 32 nodes, split across two clusters so a partition has a seam
+    // to cut; the VC spans the seam.
+    opt.clusters = 2;
+    opt.nodes_per_cluster = 16;
+  }
   core::MachineRoom room(opt);
   arm_repairs(room);
 
@@ -149,7 +159,17 @@ Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
   core::DvcManager::RecoveryPolicy policy;
   policy.coordinator = &lsc;
   policy.interval = interval;
+  if (control_faults) {
+    // Partitions outlasting the transport retry budget kill the app
+    // without killing hardware; only the watchdog notices that.
+    policy.watchdog_interval = 60 * sim::kSecond;
+  }
   room.dvc->enable_auto_recovery(vc, policy);
+  if (control_faults) {
+    // Node 31 is a spare (the 26 ranks occupy nodes 0..25), so the
+    // coordinator's own host survives the job-facing failure process.
+    room.dvc->designate_head_node(31);
+  }
 
   // Failures start after the policy is armed (same failure process as the
   // baseline; the baseline just cannot do anything about them).
@@ -173,15 +193,30 @@ Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
       st.clock_step_mtbf = 3000 * sim::kSecond;
       st.clock_step_max = 400 * sim::kMillisecond;
     }
+    if (control_faults) {
+      // Control-plane gauntlet: inter-cluster partitions long enough to
+      // exhaust the transport retry budget, plus coordinator outages.
+      // Rates are against the ~1500-3000 s completion time, not the
+      // 40000 s horizon, so several of each land while the job runs.
+      st.partition_mtbf = 700 * sim::kSecond;
+      st.partition_for = 45 * sim::kSecond;
+      st.coordinator_crash_mtbf = 500 * sim::kSecond;
+      st.coordinator_down_for = 60 * sim::kSecond;
+    }
     fault::FaultPlan plan;
     plan.sample(st, static_cast<std::uint32_t>(room.fabric.node_count()),
-                /*cluster_count=*/1, sim::Rng(seed ^ 0xFA17),
+                /*cluster_count=*/control_faults ? 2u : 1u,
+                sim::Rng(seed ^ 0xFA17),
                 static_cast<std::uint32_t>(1 + room.replica_stores.size()));
-    injector.emplace(
-        room.sim,
-        fault::FaultInjector::Hooks{&room.fabric, &room.store,
-                                    room.time.get(), room.replica_ptrs()},
-        &room.metrics);
+    fault::FaultInjector::Hooks hooks{&room.fabric, &room.store,
+                                      room.time.get(), room.replica_ptrs(),
+                                      {}};
+    if (control_faults) {
+      hooks.coordinator_crash = [&room](sim::Duration down_for) {
+        room.dvc->crash_coordinator(down_for);
+      };
+    }
+    injector.emplace(room.sim, hooks, &room.metrics);
     injector->arm(plan);
   }
 
@@ -204,6 +239,12 @@ Outcome run_dvc(sim::Duration interval, std::uint64_t seed,
       room.metrics.counter_value("storage.store.verify_failures");
   out.failovers = room.metrics.counter_value("storage.replica.failovers");
   out.fallbacks = room.dvc->restore_fallbacks();
+  out.coordinator_crashes = room.dvc->coordinator_crashes();
+  out.coordinator_reboots = room.dvc->coordinator_reboots();
+  out.fenced_writes =
+      room.metrics.counter_value("storage.images.fenced_writes") +
+      room.metrics.counter_value("vm.hypervisor.fenced_commands");
+  out.partitions = room.metrics.counter_value("fault.injected.partition");
   return out;
 }
 
@@ -290,6 +331,37 @@ int main(int argc, char** argv) {
                      {"failovers", static_cast<double>(d.failovers)},
                      {"fallbacks", static_cast<double>(d.fallbacks)}};
     rows.push_back(std::move(drow));
+
+    // Control-plane row: the coordinator itself crashes and the fabric
+    // partitions across the inter-cluster seam while the node-failure
+    // process keeps running. Epoch fencing keeps deposed writes out of
+    // the store and the recovery pass completes or aborts half-open
+    // rounds, so the job still finishes.
+    const Outcome c = run_dvc(120 * sim::kSecond, kSeed, true,
+                              /*storage_faults=*/false, /*replicas=*/0,
+                              /*control_faults=*/true);
+    table.add_row({"DVC ckpt 120 s + coordinator/partition faults",
+                   c.completed ? "yes" : "NO", fmt(c.completion_s, 0),
+                   std::to_string(c.failures), std::to_string(c.recoveries),
+                   fmt(c.ckpt_overhead, 0), fmt(c.wasted_compute_s, 0)});
+    std::printf("    control-fault run: %llu coordinator crashes, %llu"
+                " reboots, %llu partitions, %llu fenced writes\n",
+                static_cast<unsigned long long>(c.coordinator_crashes),
+                static_cast<unsigned long long>(c.coordinator_reboots),
+                static_cast<unsigned long long>(c.partitions),
+                static_cast<unsigned long long>(c.fenced_writes));
+    MetricRow crow;
+    crow.name = "reliability/dvc_control_faults";
+    crow.counters = {{"completion_s", c.completion_s},
+                     {"recoveries", static_cast<double>(c.recoveries)},
+                     {"coordinator_crashes",
+                      static_cast<double>(c.coordinator_crashes)},
+                     {"coordinator_reboots",
+                      static_cast<double>(c.coordinator_reboots)},
+                     {"partitions", static_cast<double>(c.partitions)},
+                     {"fenced_writes",
+                      static_cast<double>(c.fenced_writes)}};
+    rows.push_back(std::move(crow));
   }
 
   table.print("T9  job completion under node failures");

@@ -19,7 +19,9 @@ RoundTracker::RoundTracker(sim::Simulation& sim,
     : sim_(&sim),
       targets_(std::move(targets)),
       images_(&images),
-      set_(images.open_set(std::move(label), targets_.size())),
+      set_(images.open_set(std::move(label), targets_.size(),
+                           targets_.empty() ? storage::kUnfencedEpoch
+                                            : targets_.front().epoch)),
       done_(std::move(done)),
       outstanding_(targets_.size()),
       resume_after_save_(resume_after_save),
@@ -34,6 +36,13 @@ RoundTracker::RoundTracker(sim::Simulation& sim,
 void RoundTracker::fire(std::size_t i) {
   SaveTarget& t = targets_.at(i);
   pauses_at_fire_[i] = t.machine->pauses();
+  if (set_ == storage::kInvalidCheckpointSet) {
+    // The set never opened (the opening coordinator was already deposed
+    // when this round was built): abort the member without touching the
+    // guest, so the round ends cleanly instead of wedging.
+    on_member_durable(i, false, std::any{});
+    return;
+  }
   // The durable callback arrives long after the firing event has been
   // destroyed; it must own the round.
   t.hypervisor->save_domain(
@@ -41,7 +50,7 @@ void RoundTracker::fire(std::size_t i) {
       [self = shared_from_this(), i](bool ok, std::any state) {
         self->on_member_durable(i, ok, std::move(state));
       },
-      t.incremental);
+      t.incremental, t.epoch);
 }
 
 void RoundTracker::on_member_durable(std::size_t i, bool ok,

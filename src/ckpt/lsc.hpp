@@ -30,6 +30,10 @@ struct SaveTarget {
   /// Write only memory dirtied since the member's last image (the restore
   /// chain then spans back to its last full image).
   bool incremental = false;
+  /// Issuing coordinator's fencing token, stamped into the checkpoint set
+  /// and every save command. Defaults to unfenced for library users
+  /// driving the coordinator directly.
+  std::uint64_t epoch = storage::kUnfencedEpoch;
 };
 
 /// Outcome of one coordinated checkpoint attempt.

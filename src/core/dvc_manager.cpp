@@ -83,14 +83,17 @@ VirtualCluster& DvcManager::create_vc(VcSpec spec,
   claim(vc);
   vcs_.emplace(id, std::move(rt));
 
+  const std::uint64_t lsn =
+      journal(IntentKind::kProvision, id, vc.checkpoint_label());
   auto booted = std::make_shared<std::uint32_t>(0);
   const std::uint32_t n = vc.size();
   for (std::uint32_t i = 0; i < n; ++i) {
     fleet_->on_node(vc.placement(i))
         .boot_domain(vc.machine(i),
-                     [&vc, booted, n, cb = on_ready] {
+                     [this, &vc, booted, n, lsn, cb = on_ready] {
                        if (++*booted == n) {
                          vc.state_ = VcState::kRunning;
+                         close_intent(lsn);
                          if (cb) cb();
                        }
                      });
@@ -125,9 +128,13 @@ std::vector<ckpt::SaveTarget> DvcManager::save_targets(VirtualCluster& vc) {
   targets.reserve(vc.size());
   for (std::uint32_t i = 0; i < vc.size(); ++i) {
     const hw::NodeId node = vc.placement(i);
-    targets.push_back(ckpt::SaveTarget{&fleet_->on_node(node),
-                                       &vc.machine(i), &time_->clock(node),
-                                       i});
+    ckpt::SaveTarget t{&fleet_->on_node(node), &vc.machine(i),
+                       &time_->clock(node), i};
+    // Stamp the issuing incarnation's fencing token: if this coordinator
+    // is deposed before the save lands, the stale epoch is rejected at
+    // the hypervisor and image-manager doors.
+    t.epoch = epoch_;
+    targets.push_back(t);
   }
   return targets;
 }
@@ -147,14 +154,22 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
   const auto span =
       telemetry::begin_span(metrics_, sim_->now(), "dvc", "checkpoint");
   const VcId id = vc.id();
+  const std::uint64_t issued = epoch_;
+  const std::uint64_t lsn =
+      journal(IntentKind::kCheckpoint, id, vc.checkpoint_label());
   // Retried rounds must not re-fire the targets captured above: the
   // failure that sank the previous round may have relocated members, and
   // a stale mapping pauses the survivors while the moved member runs on.
   // Re-resolve from the live placement — or abandon the retry entirely
   // while a member is dead or a recovery is rewinding the cluster.
-  auto retarget = [this, id,
+  auto retarget = [this, id, issued,
                    incremental]() -> std::optional<
                                       std::vector<ckpt::SaveTarget>> {
+    if (!coordinator_up_ || issued != epoch_) {
+      // The incarnation that started this round is gone; its retries die
+      // with it (the reboot's reconciliation owns the cluster now).
+      return std::nullopt;
+    }
     const auto it = vcs_.find(id);
     if (it == vcs_.end()) return std::nullopt;
     VcRuntime& rt = it->second;
@@ -179,9 +194,18 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
   };
   lsc.checkpoint(
       vc.checkpoint_label(), std::move(targets), *images_,
-      [this, &vc, can_increment, span,
+      [this, &vc, can_increment, span, issued, lsn,
        cb = std::move(done)](ckpt::LscResult r) {
         telemetry::end_span(metrics_, span, sim_->now());
+        if (stale_completion(issued)) {
+          // The issuing coordinator died mid-round. Nobody may adopt the
+          // result: the app snapshots it carries belong to an incarnation
+          // whose view of the cluster is gone, and the recovery point must
+          // come from reconciliation, not a ghost. The set (if any) is
+          // swept as an orphan by recover_control_plane.
+          return;
+        }
+        close_intent(lsn);
         telemetry::count(metrics_, r.ok ? "core.dvc.checkpoints"
                                         : "core.dvc.checkpoint_failures");
         if (vc.state_ == VcState::kCheckpointing) {
@@ -198,7 +222,7 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
             // retransmission. Restoring such an image resurrects the
             // wedge, so quarantine the set and keep the previous
             // recovery point.
-            images_->discard_set(r.set);
+            images_->discard_set(r.set, epoch_);
             telemetry::count(metrics_, "core.dvc.checkpoints_quarantined");
             sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
                        "vc#" + std::to_string(vc.id()) +
@@ -263,11 +287,15 @@ void DvcManager::restore_vc(VirtualCluster& vc,
   ++vc.instantiations_;
 
   const storage::CheckpointSetId set = vc.last_checkpoint_.set;
+  const std::uint64_t lsn =
+      journal(IntentKind::kRestore, vc.id(), vc.checkpoint_label());
   const auto span =
       telemetry::begin_span(metrics_, sim_->now(), "dvc", "restore");
   const sim::Time restore_begin = sim_->now();
-  const auto restore_members = [this, &vc, set, span, restore_begin,
-                                done = std::move(done)]() {
+  // Captured by copy: the chain-staging failure path below needs `done`
+  // too, and must not find a moved-from shell when staging fails.
+  const auto restore_members = [this, &vc, set, span, restore_begin, lsn,
+                                issued = epoch_, done]() {
     auto remaining = std::make_shared<std::uint32_t>(vc.size());
     auto all_ok = std::make_shared<bool>(true);
     for (std::uint32_t i = 0; i < vc.size(); ++i) {
@@ -275,11 +303,12 @@ void DvcManager::restore_vc(VirtualCluster& vc,
           .restore_domain(vc.machine(i), *images_, set, i,
                           vc.last_checkpoint_.app_snapshots.at(i),
                           [this, &vc, remaining, all_ok, span, restore_begin,
-                           cb = done](bool ok) {
+                           lsn, cb = done](bool ok) {
                             if (!ok) *all_ok = false;
                             if (--*remaining == 0) {
                               vc.state_ = *all_ok ? VcState::kRunning
                                                   : VcState::kProvisioning;
+                              close_intent(lsn);
                               telemetry::end_span(metrics_, span,
                                                   sim_->now());
                               telemetry::count(
@@ -292,7 +321,8 @@ void DvcManager::restore_vc(VirtualCluster& vc,
                                                   restore_begin));
                               if (cb) cb(*all_ok);
                             }
-                          });
+                          },
+                          issued);
     }
   };
 
@@ -310,13 +340,14 @@ void DvcManager::restore_vc(VirtualCluster& vc,
   auto chain_ok = std::make_shared<bool>(true);
   for (const storage::CheckpointSetId s : prior_sets) {
     images_->stage_set(s, [this, &vc, chain_left, chain_ok, restore_members,
-                           span, done_cb = done](bool ok) {
+                           span, lsn, done_cb = done](bool ok) {
       if (!ok) *chain_ok = false;
       if (--*chain_left == 0) {
         if (*chain_ok) {
           restore_members();
         } else {
           vc.state_ = VcState::kProvisioning;
+          close_intent(lsn);
           telemetry::end_span(metrics_, span, sim_->now());
           telemetry::count(metrics_, "core.dvc.restore_failures");
           if (done_cb) done_cb(false);
@@ -330,11 +361,22 @@ void DvcManager::migrate_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
                             std::vector<hw::NodeId> new_placement,
                             std::function<void(bool)> done) {
   vc.state_ = VcState::kMigrating;
+  const VcId id = vc.id();
+  const std::uint64_t issued = epoch_;
+  const std::uint64_t lsn =
+      journal(IntentKind::kMigrate, id, vc.checkpoint_label());
   lsc.checkpoint(
       vc.checkpoint_label(), save_targets(vc), *images_,
-      [this, &vc, placement = std::move(new_placement),
+      [this, &vc, id, issued, lsn, placement = std::move(new_placement),
        cb = std::move(done)](ckpt::LscResult r) mutable {
+        if (stale_completion(issued)) {
+          // The coordinator that ordered the move died while the members
+          // were saving. The held domains are reconciled (resumed in place
+          // or recovered) by the reboot pass, not here.
+          return;
+        }
         if (!r.ok) {
+          close_intent(lsn);
           vc.state_ = VcState::kRunning;
           if (cb) cb(false);
           return;
@@ -343,7 +385,26 @@ void DvcManager::migrate_vc(VirtualCluster& vc, ckpt::LscCoordinator& lsc,
             VcCheckpoint{r.set, r.app_snapshots, sim_->now()};
         ++migrations_;
         telemetry::count(metrics_, "core.dvc.migrations");
-        restore_vc(vc, std::move(placement), std::move(cb));
+        restore_vc(vc, std::move(placement),
+                   [this, id, lsn, cb = std::move(cb)](bool ok) {
+                     close_intent(lsn);
+                     if (!ok) {
+                       // The hold-save sealed but the restore side died
+                       // (target node or store fault mid-stage). The
+                       // members are frozen with a durable recovery point:
+                       // roll the whole VC back from it rather than leave
+                       // the cluster wedged between two placements.
+                       const auto rit = vcs_.find(id);
+                       if (rit != vcs_.end() &&
+                           rit->second.vc->has_checkpoint() &&
+                           !rit->second.recovery_in_flight &&
+                           rit->second.vc->state_ != VcState::kFailed) {
+                         rit->second.recovery_in_flight = true;
+                         recover(rit->second);
+                       }
+                     }
+                     if (cb) cb(ok);
+                   });
       },
       /*resume_after_save=*/false);
 }
@@ -467,7 +528,7 @@ void DvcManager::enable_auto_recovery(VirtualCluster& vc,
   const VcId id = vc.id();
   sim_->schedule_after(0, [this, id] {
     const auto it = vcs_.find(id);
-    if (it == vcs_.end() || !it->second.policy) return;
+    if (it == vcs_.end() || !it->second.policy || !coordinator_up_) return;
     VcRuntime& rt = it->second;
     if (rt.vc->state_ != VcState::kRunning || rt.checkpoint_in_flight) {
       return;
@@ -500,8 +561,10 @@ void DvcManager::schedule_periodic_checkpoint(VcId id) {
     auto rit = vcs_.find(id);
     if (rit == vcs_.end() || !rit->second.policy) return;
     VcRuntime& rt = rit->second;
-    if (rt.vc->state_ == VcState::kRunning && !rt.recovery_in_flight &&
-        !rt.checkpoint_in_flight) {
+    // A downed coordinator skips the tick but keeps the loop alive: the
+    // cadence resumes by itself once a new incarnation boots.
+    if (coordinator_up_ && rt.vc->state_ == VcState::kRunning &&
+        !rt.recovery_in_flight && !rt.checkpoint_in_flight) {
       rt.checkpoint_in_flight = true;
       // Incremental rounds between periodic full images (bounding the
       // restore chain). Old generations are collected by the refcounted
@@ -537,7 +600,8 @@ void DvcManager::schedule_member_watchdog(VcId id) {
     const auto rit = vcs_.find(id);
     if (rit == vcs_.end() || !rit->second.policy) return;
     VcRuntime& rt = rit->second;
-    if (!rt.recovery_in_flight && rt.vc->has_checkpoint() &&
+    if (coordinator_up_ && !rt.recovery_in_flight &&
+        rt.vc->has_checkpoint() &&
         rt.vc->state_ != VcState::kDestroyed &&
         rt.vc->state_ != VcState::kRecovering &&
         rt.vc->state_ != VcState::kFailed) {
@@ -576,8 +640,24 @@ void DvcManager::schedule_member_watchdog(VcId id) {
 }
 
 void DvcManager::on_node_failure(hw::NodeId node) {
+  if (node == head_node_ && coordinator_up_) {
+    // The control plane lives on this node: the coordinator dies with it
+    // and comes back only when the hardware does.
+    sim::trace(trace_, sim_->now(), sim::TraceLevel::kError, "dvc",
+               "head node " + std::to_string(node) +
+                   " died; coordinator down with it");
+    crash_coordinator(/*down_for=*/0);
+    watch_head_repair();
+  }
   const auto cit = claimed_.find(node);
   if (cit == claimed_.end()) return;
+  if (!coordinator_up_) {
+    // Nobody is home to run the failure feed. The member's death is not
+    // lost: the reboot's reconciliation pass re-derives it from ground
+    // truth, and the watchdog re-checks every sweep.
+    telemetry::count(metrics_, "core.dvc.failures_while_headless");
+    return;
+  }
   const VcId id = cit->second;
   auto it = vcs_.find(id);
   if (it == vcs_.end()) return;
@@ -603,7 +683,7 @@ void DvcManager::on_failure_prediction(hw::NodeId node,
   const auto it = vcs_.find(id);
   if (it == vcs_.end()) return;
   VcRuntime& rt = it->second;
-  if (!rt.policy || !rt.policy->proactive_migration ||
+  if (!coordinator_up_ || !rt.policy || !rt.policy->proactive_migration ||
       rt.recovery_in_flight || rt.vc->state_ != VcState::kRunning) {
     return;
   }
@@ -652,6 +732,12 @@ void DvcManager::on_failure_prediction(hw::NodeId node,
 }
 
 void DvcManager::recover(VcRuntime& rt) {
+  if (!coordinator_up_) {
+    // A retry landed while the control plane was down. Leave
+    // recovery_in_flight set: the reboot's reconciliation pass clears it
+    // and re-issues the recovery under the new epoch.
+    return;
+  }
   VirtualCluster& vc = *rt.vc;
   const bool relocate_all = rt.policy && rt.policy->relocate_all;
 
@@ -712,7 +798,13 @@ void DvcManager::recover(VcRuntime& rt) {
   }
 
   const VcId id = vc.id();
-  restore_vc(vc, std::move(placement), [this, id](bool ok) {
+  restore_vc(vc, std::move(placement), [this, id,
+                                        issued = epoch_](bool ok) {
+    if (stale_completion(issued)) {
+      // The recovering incarnation died mid-restore; the new one owns the
+      // cluster and will re-derive what recovery (if any) is still needed.
+      return;
+    }
     const auto rit = vcs_.find(id);
     if (rit == vcs_.end()) return;
     VcRuntime& rt = rit->second;
@@ -789,7 +881,10 @@ void DvcManager::release_generation(const VcGeneration& g) {
     if (it == set_refs_.end()) continue;
     if (--it->second == 0) {
       set_refs_.erase(it);
-      images_->discard_set(s);
+      const std::uint64_t lsn =
+          journal(IntentKind::kRetire, 0, "set#" + std::to_string(s));
+      images_->discard_set(s, epoch_);
+      close_intent(lsn);
     }
   }
 }
@@ -825,7 +920,7 @@ bool DvcManager::fall_back_generation(VcRuntime& rt) {
     release_generation(gens.back());
     gens.pop_back();
   } else {
-    images_->discard_set(vc.last_checkpoint_.set);
+    images_->discard_set(vc.last_checkpoint_.set, epoch_);
   }
   // Walk back to the newest generation not already known to be damaged.
   while (!gens.empty() && generation_damaged(gens.back())) {
@@ -860,9 +955,259 @@ void DvcManager::abandon_recovery(VcRuntime& rt, const std::string& why) {
 
 void DvcManager::recover_now(VirtualCluster& vc) {
   VcRuntime& rt = vcs_.at(vc.id());
-  if (rt.recovery_in_flight || !vc.has_checkpoint()) return;
+  if (!coordinator_up_ || rt.recovery_in_flight || !vc.has_checkpoint()) {
+    return;
+  }
   rt.recovery_in_flight = true;
   recover(rt);
+}
+
+// ---- coordinator fault domain ----------------------------------------------
+
+void DvcManager::set_fence(storage::EpochFence* fence) noexcept {
+  fence_ = fence;
+  epoch_ = fence == nullptr ? storage::kUnfencedEpoch : fence->current();
+}
+
+void DvcManager::designate_head_node(hw::NodeId head, sim::Duration lease) {
+  if (head >= fabric_->node_count()) {
+    throw std::invalid_argument("head node outside the fabric");
+  }
+  if (lease <= 0) throw std::invalid_argument("lease must be positive");
+  head_node_ = head;
+  lease_ = lease;
+  if (fence_ != nullptr) epoch_ = fence_->current();
+  if (wal_ == nullptr) {
+    wal_ = std::make_unique<IntentLog>(images_->store());
+    wal_->set_metrics(metrics_);
+  }
+  renew_lease();
+  if (!lease_daemon_armed_) {
+    lease_daemon_armed_ = true;
+    sim_->schedule_daemon_after(lease_ / 2, [this] { lease_renewal_tick(); });
+  }
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
+             "coordinator head = node " + std::to_string(head) +
+                 ", epoch " + std::to_string(epoch_));
+}
+
+void DvcManager::renew_lease() {
+  if (head_node_ == hw::kInvalidNode) return;
+  lease_expiry_local_ = time_->clock(head_node_).local_now() + lease_;
+}
+
+// Renews at half-lease cadence on the head node's synced clock; a crashed
+// coordinator simply stops renewing and its lease runs out.
+void DvcManager::lease_renewal_tick() {
+  if (head_node_ == hw::kInvalidNode) return;  // un-designated
+  if (coordinator_up_ && !fabric_->node(head_node_).failed()) {
+    renew_lease();
+  }
+  sim_->schedule_daemon_after(lease_ / 2, [this] { lease_renewal_tick(); });
+}
+
+void DvcManager::crash_coordinator(sim::Duration down_for) {
+  if (!coordinator_up_) return;
+  coordinator_up_ = false;
+  ++coordinator_crashes_;
+  telemetry::count(metrics_, "core.dvc.coordinator_crashes");
+  telemetry::instant(metrics_, sim_->now(), "dvc", "coordinator_crash");
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kError, "dvc",
+             "coordinator crashed (epoch " + std::to_string(epoch_) + ")");
+  if (down_for > 0) {
+    sim_->schedule_after(down_for, [this] { reboot_coordinator(); });
+  }
+}
+
+void DvcManager::watch_head_repair() {
+  if (repair_watch_armed_) return;
+  repair_watch_armed_ = true;
+  constexpr sim::Duration kRepairPoll = 5 * sim::kSecond;
+  sim_->schedule_daemon_after(kRepairPoll, [this] { poll_head_repair(); });
+}
+
+void DvcManager::poll_head_repair() {
+  if (coordinator_up_ || head_node_ == hw::kInvalidNode) {
+    repair_watch_armed_ = false;
+    return;
+  }
+  if (!fabric_->node(head_node_).failed()) {
+    repair_watch_armed_ = false;
+    reboot_coordinator();
+    return;
+  }
+  constexpr sim::Duration kRepairPoll = 5 * sim::kSecond;
+  sim_->schedule_daemon_after(kRepairPoll, [this] { poll_head_repair(); });
+}
+
+void DvcManager::reboot_coordinator() {
+  if (coordinator_up_) return;
+  if (head_node_ != hw::kInvalidNode &&
+      fabric_->node(head_node_).failed()) {
+    // The head's hardware is still dark: boot when it is repaired.
+    watch_head_repair();
+    return;
+  }
+  if (head_node_ != hw::kInvalidNode) {
+    // Wait out the deposed incarnation's lease on the head node's synced
+    // clock before fencing: an incarnation that merely lost touch may
+    // keep issuing admitted writes until *its* clock passes the expiry,
+    // and advancing the epoch earlier would race it instead of fencing it.
+    clocksync::HostClock& clock = time_->clock(head_node_);
+    if (clock.local_now() < lease_expiry_local_) {
+      // The local->sim mapping truncates, so the mapped instant can read
+      // one local tick short of the expiry; nudge the wake-up strictly
+      // forward so the wait always terminates.
+      const sim::Time wake =
+          std::max(clock.to_sim(lease_expiry_local_), sim_->now()) + 1;
+      sim_->schedule_at(wake, [this] { reboot_coordinator(); });
+      return;
+    }
+  }
+  if (fence_ != nullptr) epoch_ = fence_->advance();
+  coordinator_up_ = true;
+  ++coordinator_reboots_;
+  telemetry::count(metrics_, "core.dvc.coordinator_reboots");
+  telemetry::instant(metrics_, sim_->now(), "dvc", "coordinator_reboot");
+  sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+             "coordinator rebooted, epoch " + std::to_string(epoch_));
+  renew_lease();
+  recover_control_plane();
+}
+
+bool DvcManager::stale_completion(std::uint64_t issued_epoch) {
+  if (coordinator_up_ && issued_epoch == epoch_) return false;
+  ++stale_completions_;
+  telemetry::count(metrics_, "core.dvc.stale_completions");
+  return true;
+}
+
+std::uint64_t DvcManager::journal(IntentKind kind, VcId vc,
+                                  const std::string& label) {
+  if (wal_ == nullptr || !coordinator_up_) return 0;
+  return wal_->append(kind, vc, label, epoch_);
+}
+
+void DvcManager::close_intent(std::uint64_t lsn) {
+  if (wal_ == nullptr || lsn == 0) return;
+  wal_->close(lsn);
+}
+
+void DvcManager::recover_control_plane() {
+  // Phase 1: read back the journal. Every open entry names an operation
+  // the dead incarnation started but never finished; the entries drive
+  // telemetry and tracing, while the authoritative repair below works
+  // from store and hypervisor ground truth (the journal records intent,
+  // not effect).
+  if (wal_ != nullptr) {
+    for (const auto& [lsn, e] : wal_->open_intents()) {
+      telemetry::count(metrics_, "core.dvc.wal_replayed");
+      sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+                 "wal: open " + std::string(to_string(e.kind)) + " intent " +
+                     "#" + std::to_string(lsn) + " (" + e.label + ")");
+    }
+  }
+  // Phase 2: reconcile every VC against ground truth.
+  for (auto& [id, rt] : vcs_) reconcile_vc(rt);
+  // Phase 3: the journal is now fully resolved.
+  if (wal_ != nullptr) {
+    while (!wal_->open_intents().empty()) {
+      wal_->close(wal_->open_intents().begin()->first);
+    }
+  }
+}
+
+void DvcManager::reconcile_vc(VcRuntime& rt) {
+  VirtualCluster& vc = *rt.vc;
+  if (vc.state_ == VcState::kDestroyed || vc.state_ == VcState::kFailed) {
+    return;
+  }
+  // The dead incarnation's in-flight flags mean nothing now.
+  rt.checkpoint_in_flight = false;
+  rt.recovery_in_flight = false;
+
+  // Orphaned checkpoint sets: anything in the store under this VC's label
+  // that no retained generation references and that is not the current
+  // recovery point was written by a round whose coordinator died. A sealed
+  // orphan is discarded — its app snapshots lived in coordinator memory,
+  // so it can never be restored and would only shadow the real recovery
+  // point as latest_sealed(). A half-open orphan is aborted so its members
+  // are garbage-collected instead of waiting forever to seal.
+  for (const storage::CheckpointSet* s :
+       images_->sets_with_label(vc.checkpoint_label())) {
+    if (s->aborted || set_refs_.contains(s->id) ||
+        s->id == vc.last_checkpoint_.set) {
+      continue;
+    }
+    if (s->sealed) {
+      ++orphan_sets_discarded_;
+      telemetry::count(metrics_, "core.dvc.orphan_sets_discarded");
+      images_->discard_set(s->id, epoch_);
+    } else {
+      ++orphan_rounds_aborted_;
+      telemetry::count(metrics_, "core.dvc.orphan_rounds_aborted");
+      images_->abort_set(s->id, epoch_);
+    }
+  }
+
+  // Domain reconcile: decide between resume-in-place and whole-VC
+  // recovery from the surviving recovery point.
+  bool member_dead = false;
+  bool member_paused = false;
+  for (std::uint32_t i = 0; i < vc.size(); ++i) {
+    const hw::NodeId n = vc.placement(i);
+    const vm::DomainState st = vc.machine(i).state();
+    if (st == vm::DomainState::kDead || n == hw::kInvalidNode ||
+        fabric_->node(n).failed()) {
+      member_dead = true;
+    } else if (st != vm::DomainState::kRunning) {
+      member_paused = true;
+    }
+  }
+  const bool job_live = rt.app == nullptr || !rt.app->completed();
+  const bool app_failed =
+      rt.app != nullptr && rt.app->failed() && job_live;
+  if (!job_live) return;  // results are in; never resurrect idle guests
+
+  // Only a transitional control-plane state may have frozen members to
+  // thaw; a VC still provisioning has legitimately-paused guests whose
+  // boots are in flight, and must not be "resumed" past them.
+  const bool transitional = vc.state_ == VcState::kCheckpointing ||
+                            vc.state_ == VcState::kMigrating ||
+                            vc.state_ == VcState::kRecovering;
+  if (!member_dead && !app_failed) {
+    if (member_paused && transitional) {
+      // A round (checkpoint save, or a migration's save-and-hold) froze
+      // members and died before resuming or moving them. Everybody is
+      // alive and the images are swept, so thaw the cluster in place.
+      telemetry::count(metrics_, "core.dvc.reconcile_resumes");
+      sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+                 "vc#" + std::to_string(vc.id()) +
+                     " reconciled: resuming held members in place");
+      for (std::uint32_t i = 0; i < vc.size(); ++i) {
+        fleet_->on_node(vc.placement(i)).resume_domain(vc.machine(i));
+      }
+    }
+    if (vc.state_ == VcState::kCheckpointing ||
+        vc.state_ == VcState::kMigrating ||
+        vc.state_ == VcState::kRecovering) {
+      vc.state_ = VcState::kRunning;
+    }
+    return;
+  }
+  // A member is gone (or the app aborted): the only consistent path is a
+  // whole-VC rollback to the last durable recovery point.
+  if (vc.has_checkpoint()) {
+    telemetry::count(metrics_, "core.dvc.reconcile_recoveries");
+    sim::trace(trace_, sim_->now(), sim::TraceLevel::kWarn, "dvc",
+               "vc#" + std::to_string(vc.id()) +
+                   " reconciled: recovering from last checkpoint");
+    rt.recovery_in_flight = true;
+    recover(rt);
+  } else {
+    abandon_recovery(rt, "coordinator rebooted over a degraded VC with no "
+                         "durable checkpoint");
+  }
 }
 
 void DvcManager::claim(VirtualCluster& vc) {

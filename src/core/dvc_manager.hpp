@@ -11,10 +11,12 @@
 #include "app/workload.hpp"
 #include "ckpt/lsc.hpp"
 #include "clocksync/ntp.hpp"
+#include "core/intent_log.hpp"
 #include "core/virtual_cluster.hpp"
 #include "hw/cluster.hpp"
 #include "sim/simulation.hpp"
 #include "sim/trace.hpp"
+#include "storage/epoch_fence.hpp"
 #include "storage/image_manager.hpp"
 #include "telemetry/telemetry.hpp"
 #include "vm/hypervisor.hpp"
@@ -158,6 +160,69 @@ class DvcManager final {
   /// paper's "software errors" case; node death is handled automatically).
   void recover_now(VirtualCluster& vc);
 
+  // ---- coordinator fault domain ------------------------------------------
+
+  /// Attaches the cluster-wide coordinator-epoch fence. The same fence
+  /// must be wired into the image manager and hypervisor fleet; until a
+  /// head node is designated the manager issues unfenced commands and
+  /// nothing changes.
+  void set_fence(storage::EpochFence* fence) noexcept;
+
+  /// Makes the control plane itself a fault domain: the manager now "runs"
+  /// on `head` (dies with it, reboots when it is repaired), journals every
+  /// state-changing intent to the shared store before acting, and fences
+  /// all storage/hypervisor commands with the current coordinator epoch.
+  /// `lease` is the incarnation's epoch lease, measured on the head node's
+  /// *synced* clock: a successor waits the lease out before advancing the
+  /// epoch, so a deposed-but-alive incarnation is fenced, never raced.
+  void designate_head_node(hw::NodeId head,
+                           sim::Duration lease = 10 * sim::kSecond);
+
+  /// Kills the control-plane process (fault-injection hook). In-flight
+  /// rounds lose their coordinator; member-side agents keep running. With
+  /// `down_for` > 0 a reboot is scheduled; with 0 the coordinator stays
+  /// down until reboot_coordinator() (or, after a head-node death, until
+  /// the node is repaired).
+  void crash_coordinator(sim::Duration down_for);
+
+  /// Boots a new coordinator incarnation: waits out the previous lease,
+  /// advances the epoch fence (deposing any zombie), replays the intent
+  /// log against store/hypervisor ground truth, and aborts-or-completes
+  /// every half-open operation.
+  void reboot_coordinator();
+
+  [[nodiscard]] bool coordinator_up() const noexcept {
+    return coordinator_up_;
+  }
+  [[nodiscard]] hw::NodeId head_node() const noexcept { return head_node_; }
+  /// Epoch this incarnation stamps into commands (kUnfencedEpoch until a
+  /// fence is attached).
+  [[nodiscard]] std::uint64_t coordinator_epoch() const noexcept {
+    return epoch_;
+  }
+  [[nodiscard]] std::uint64_t coordinator_crashes() const noexcept {
+    return coordinator_crashes_;
+  }
+  [[nodiscard]] std::uint64_t coordinator_reboots() const noexcept {
+    return coordinator_reboots_;
+  }
+  /// Completions from a dead incarnation's rounds, dropped at the door.
+  [[nodiscard]] std::uint64_t stale_completions() const noexcept {
+    return stale_completions_;
+  }
+  /// Checkpoint sets found ownerless by a reboot's reconciliation pass:
+  /// sealed orphans discarded, half-open rounds aborted.
+  [[nodiscard]] std::uint64_t orphan_sets_discarded() const noexcept {
+    return orphan_sets_discarded_;
+  }
+  [[nodiscard]] std::uint64_t orphan_rounds_aborted() const noexcept {
+    return orphan_rounds_aborted_;
+  }
+  /// The write-ahead intent log (null until a head node is designated).
+  [[nodiscard]] const IntentLog* intent_log() const noexcept {
+    return wal_.get();
+  }
+
   // ---- introspection -----------------------------------------------------
 
   [[nodiscard]] std::uint64_t recoveries_performed() const noexcept {
@@ -224,6 +289,22 @@ class DvcManager final {
   void on_node_failure(hw::NodeId node);
   void on_failure_prediction(hw::NodeId node, sim::Duration lead);
   void recover(VcRuntime& rt);
+  // ---- coordinator fault domain ------------------------------------------
+  /// True (and counted) when a completion stamped with `issued_epoch`
+  /// belongs to a dead or deposed incarnation and must be dropped.
+  [[nodiscard]] bool stale_completion(std::uint64_t issued_epoch);
+  /// Journals an intent (no-op without a WAL); returns 0 when not logged.
+  std::uint64_t journal(IntentKind kind, VcId vc, const std::string& label);
+  void close_intent(std::uint64_t lsn);
+  void renew_lease();
+  void lease_renewal_tick();
+  void watch_head_repair();
+  void poll_head_repair();
+  /// The reboot's reconciliation pass: replays the WAL against store and
+  /// hypervisor ground truth, disposes of orphaned checkpoint sets, and
+  /// aborts-or-completes every operation the crash left half-open.
+  void recover_control_plane();
+  void reconcile_vc(VcRuntime& rt);
   void schedule_periodic_checkpoint(VcId id);
   void schedule_member_watchdog(VcId id);
   // ---- generation history (refcounted checkpoint-set GC) ----------------
@@ -256,6 +337,25 @@ class DvcManager final {
   std::uint64_t watchdog_detections_ = 0;
   std::uint64_t restore_fallbacks_ = 0;
   std::uint64_t recoveries_abandoned_ = 0;
+  // ---- coordinator fault domain ------------------------------------------
+  storage::EpochFence* fence_ = nullptr;
+  /// Epoch stamped into every command this incarnation issues. Stays
+  /// kUnfencedEpoch (admitted everywhere) until a fence is attached, so
+  /// library users driving the manager directly see no fencing at all.
+  std::uint64_t epoch_ = storage::kUnfencedEpoch;
+  bool coordinator_up_ = true;
+  hw::NodeId head_node_ = hw::kInvalidNode;
+  sim::Duration lease_ = 10 * sim::kSecond;
+  /// When the current lease runs out, on the *head node's* clock.
+  sim::Time lease_expiry_local_ = 0;
+  bool lease_daemon_armed_ = false;
+  bool repair_watch_armed_ = false;
+  std::unique_ptr<IntentLog> wal_;
+  std::uint64_t coordinator_crashes_ = 0;
+  std::uint64_t coordinator_reboots_ = 0;
+  std::uint64_t stale_completions_ = 0;
+  std::uint64_t orphan_sets_discarded_ = 0;
+  std::uint64_t orphan_rounds_aborted_ = 0;
   sim::TraceLog* trace_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
 };

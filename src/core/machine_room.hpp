@@ -69,6 +69,13 @@ struct MachineRoom {
       images.add_replica(*replica_stores.back());
     }
     dvc = std::make_unique<DvcManager>(sim, fabric, *fleet, images, *time);
+    // One cluster-wide coordinator-epoch fence, checked at every storage
+    // and hypervisor mutation point. It bites only after a head node is
+    // designated (DvcManager::designate_head_node) and a coordinator
+    // reboot advances the epoch; until then every command is admitted.
+    images.set_fence(&fence);
+    fleet->set_fence(&fence);
+    dvc->set_fence(&fence);
     fabric.set_trace(&trace);
     dvc->set_trace(&trace);
     // Wire every subsystem into the room-wide metrics registry (each holds
@@ -104,6 +111,8 @@ struct MachineRoom {
   hw::Fabric fabric;
   storage::SharedStore store;
   storage::ImageManager images;
+  /// Coordinator-epoch fence shared by images, fleet, and the manager.
+  storage::EpochFence fence;
   /// Replica stores (see MachineRoomOptions::store_replicas); owned here,
   /// registered with `images`.
   std::vector<std::unique_ptr<storage::SharedStore>> replica_stores;

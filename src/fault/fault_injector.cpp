@@ -28,11 +28,9 @@ void FaultInjector::arm(const FaultPlan& plan) {
   }
 }
 
-std::uint64_t FaultInjector::pair_key(std::uint32_t a,
-                                      std::uint32_t b) noexcept {
-  const std::uint32_t lo = a < b ? a : b;
-  const std::uint32_t hi = a < b ? b : a;
-  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+std::uint64_t FaultInjector::directed_key(std::uint32_t from,
+                                          std::uint32_t to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
 void FaultInjector::skip(const FaultEvent& e) {
@@ -61,9 +59,10 @@ void FaultInjector::apply(const FaultEvent& e) {
         skip(e);
         return;
       }
-      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
-      ++pairs_[key].down_depth;
-      refresh_pair(key);
+      for_each_direction(e, [this](std::uint64_t key) {
+        ++pairs_[key].down_depth;
+        refresh_pair(key);
+      });
       sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
       break;
     }
@@ -72,11 +71,40 @@ void FaultInjector::apply(const FaultEvent& e) {
         skip(e);
         return;
       }
-      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
-      pairs_[key].degrades.emplace_back(e.loss, e.latency_factor);
-      refresh_pair(key);
+      for_each_direction(e, [this, &e](std::uint64_t key) {
+        pairs_[key].degrades.emplace_back(e.loss, e.latency_factor);
+        refresh_pair(key);
+      });
       sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
       break;
+    }
+    case FaultKind::kPartition: {
+      if (hooks_.fabric == nullptr || e.group_a.empty() ||
+          e.group_b.empty()) {
+        skip(e);
+        return;
+      }
+      // Sever every cross-group edge in both directions; links within a
+      // side are untouched. Nests with plain link faults on the same pair.
+      for (const std::uint32_t a : e.group_a) {
+        for (const std::uint32_t b : e.group_b) {
+          for (const std::uint64_t key :
+               {directed_key(a, b), directed_key(b, a)}) {
+            ++pairs_[key].down_depth;
+            refresh_pair(key);
+          }
+        }
+      }
+      sim_->schedule_daemon_after(e.down_for, [this, e] { lift(e); });
+      break;
+    }
+    case FaultKind::kCoordinatorCrash: {
+      if (!hooks_.coordinator_crash) {
+        skip(e);
+        return;
+      }
+      hooks_.coordinator_crash(e.down_for);
+      break;  // the coordinator scheduling its own reboot is the "lift"
     }
     case FaultKind::kDiskSlow: {
       if (hooks_.store == nullptr || e.factor < 1.0) {
@@ -135,26 +163,43 @@ void FaultInjector::lift(const FaultEvent& e) {
       }
       break;
     case FaultKind::kLinkDown: {
-      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
-      auto it = pairs_.find(key);
-      if (it != pairs_.end() && it->second.down_depth > 0) {
-        --it->second.down_depth;
-        refresh_pair(key);
-      }
+      for_each_direction(e, [this](std::uint64_t key) {
+        auto it = pairs_.find(key);
+        if (it != pairs_.end() && it->second.down_depth > 0) {
+          --it->second.down_depth;
+          refresh_pair(key);
+        }
+      });
       break;
     }
     case FaultKind::kLinkDegrade: {
-      const std::uint64_t key = pair_key(e.cluster_a, e.cluster_b);
-      auto it = pairs_.find(key);
-      if (it != pairs_.end()) {
-        auto& ds = it->second.degrades;
-        for (auto d = ds.begin(); d != ds.end(); ++d) {
-          if (d->first == e.loss && d->second == e.latency_factor) {
-            ds.erase(d);
-            break;
+      for_each_direction(e, [this, &e](std::uint64_t key) {
+        auto it = pairs_.find(key);
+        if (it != pairs_.end()) {
+          auto& ds = it->second.degrades;
+          for (auto d = ds.begin(); d != ds.end(); ++d) {
+            if (d->first == e.loss && d->second == e.latency_factor) {
+              ds.erase(d);
+              break;
+            }
+          }
+          refresh_pair(key);
+        }
+      });
+      break;
+    }
+    case FaultKind::kPartition: {
+      for (const std::uint32_t a : e.group_a) {
+        for (const std::uint32_t b : e.group_b) {
+          for (const std::uint64_t key :
+               {directed_key(a, b), directed_key(b, a)}) {
+            auto it = pairs_.find(key);
+            if (it != pairs_.end() && it->second.down_depth > 0) {
+              --it->second.down_depth;
+              refresh_pair(key);
+            }
           }
         }
-        refresh_pair(key);
       }
       break;
     }
@@ -169,7 +214,8 @@ void FaultInjector::lift(const FaultEvent& e) {
     case FaultKind::kClockStep:
     case FaultKind::kStoreCorrupt:
     case FaultKind::kStoreTear:
-      return;  // instantaneous or permanent, nothing to lift
+    case FaultKind::kCoordinatorCrash:
+      return;  // instantaneous, permanent, or self-lifting: nothing here
   }
   ++lifted_total_;
   telemetry::count(metrics_, "fault.lifted");
@@ -181,19 +227,19 @@ void FaultInjector::lift(const FaultEvent& e) {
 void FaultInjector::refresh_pair(std::uint64_t key) {
   auto it = pairs_.find(key);
   if (it == pairs_.end()) return;
-  const auto a = static_cast<std::uint32_t>(key >> 32);
-  const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+  const auto from = static_cast<std::uint32_t>(key >> 32);
+  const auto to = static_cast<std::uint32_t>(key & 0xffffffffu);
   net::ClusterLinkModel& links = hooks_.fabric->links();
   const PairState& st = it->second;
   if (st.down_depth > 0) {
-    links.set_pair_override(a, b, net::ClusterLinkModel::PairOverride{
-                                      /*cut=*/true, 0.0, 1.0});
+    links.set_directed_override(from, to, net::ClusterLinkModel::PairOverride{
+                                              /*cut=*/true, 0.0, 1.0});
   } else if (!st.degrades.empty()) {
     const auto& [loss, lat] = st.degrades.back();
-    links.set_pair_override(
-        a, b, net::ClusterLinkModel::PairOverride{false, loss, lat});
+    links.set_directed_override(
+        from, to, net::ClusterLinkModel::PairOverride{false, loss, lat});
   } else {
-    links.clear_pair_override(a, b);
+    links.clear_directed_override(from, to);
     pairs_.erase(it);
   }
 }

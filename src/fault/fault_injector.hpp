@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -35,6 +36,10 @@ class FaultInjector final {
     /// address store 0 = primary, store i = replicas[i-1]. Disk slowdowns
     /// keep hitting only the primary (the contended staging path).
     std::vector<storage::SharedStore*> replicas;
+    /// Kills the DVC control plane; the argument is the time until the
+    /// coordinator reboots (0 = stays dead). The coordinator owns its own
+    /// reboot, so kCoordinatorCrash events have no lift here.
+    std::function<void(sim::Duration)> coordinator_crash;
   };
 
   FaultInjector(sim::Simulation& sim, Hooks hooks,
@@ -63,6 +68,8 @@ class FaultInjector final {
   }
 
  private:
+  /// Fault state of one *directed* cluster edge. A symmetric fault bumps
+  /// both directions; a one-way fault bumps only its own.
   struct PairState {
     int down_depth = 0;
     /// Active degrade parameters, newest last (newest wins while no cut
@@ -75,10 +82,17 @@ class FaultInjector final {
   void skip(const FaultEvent& e);
   void refresh_pair(std::uint64_t key);
   void refresh_disk();
+  /// Invokes fn(directed_key) for the event's A->B edge and, unless the
+  /// event is one-way, for B->A as well.
+  template <typename Fn>
+  void for_each_direction(const FaultEvent& e, Fn&& fn) {
+    fn(directed_key(e.cluster_a, e.cluster_b));
+    if (!e.one_way) fn(directed_key(e.cluster_b, e.cluster_a));
+  }
   /// Resolves a store-fault target index to a store (null = bad index).
   [[nodiscard]] storage::SharedStore* target_store(std::uint32_t i) const;
-  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
-                                              std::uint32_t b) noexcept;
+  [[nodiscard]] static std::uint64_t directed_key(std::uint32_t from,
+                                                  std::uint32_t to) noexcept;
 
   sim::Simulation* sim_;
   Hooks hooks_;
@@ -90,7 +104,7 @@ class FaultInjector final {
   std::uint64_t injected_total_ = 0;
   std::uint64_t lifted_total_ = 0;
   std::uint64_t skipped_total_ = 0;
-  std::array<std::uint64_t, 7> injected_{};
+  std::array<std::uint64_t, 9> injected_{};
 };
 
 }  // namespace dvc::fault

@@ -22,6 +22,10 @@ std::string_view to_string(FaultKind k) noexcept {
       return "store_corrupt";
     case FaultKind::kStoreTear:
       return "store_tear";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kCoordinatorCrash:
+      return "coordinator_crash";
   }
   return "unknown";
 }
@@ -57,6 +61,47 @@ sim::Duration seconds(double s) {
   return static_cast<sim::Duration>(s * sim::kSecond);
 }
 
+/// Recognises the one-way link syntax `<a>-><b>`; fills the event's
+/// cluster pair and one_way flag and returns true, or returns false for a
+/// plain (symmetric) cluster-id token.
+bool parse_arrow_pair(const std::string& entry, const std::string& tok,
+                      FaultEvent& e) {
+  const std::size_t arrow = tok.find("->");
+  if (arrow == std::string::npos) return false;
+  e.cluster_a = parse_id(entry, tok.substr(0, arrow), "bad cluster id");
+  e.cluster_b = parse_id(entry, tok.substr(arrow + 2), "bad cluster id");
+  e.one_way = true;
+  return true;
+}
+
+/// Parses a partition group token `a,b|c,d` into the event's two sides.
+void parse_groups(const std::string& entry, const std::string& tok,
+                  FaultEvent& e) {
+  const std::size_t bar = tok.find('|');
+  if (bar == std::string::npos) {
+    bad_entry(entry, "partition groups need a '|' separator");
+  }
+  const auto split_ids = [&](const std::string& side,
+                             std::vector<std::uint32_t>& out) {
+    std::istringstream in(side);
+    std::string id;
+    while (std::getline(in, id, ',')) {
+      if (id.empty()) bad_entry(entry, "empty cluster id in group");
+      out.push_back(parse_id(entry, id, "bad cluster id"));
+    }
+  };
+  split_ids(tok.substr(0, bar), e.group_a);
+  split_ids(tok.substr(bar + 1), e.group_b);
+  if (e.group_a.empty() || e.group_b.empty()) {
+    bad_entry(entry, "each partition side needs at least one cluster");
+  }
+  for (const std::uint32_t a : e.group_a) {
+    for (const std::uint32_t b : e.group_b) {
+      if (a == b) bad_entry(entry, "cluster on both sides of the partition");
+    }
+  }
+}
+
 }  // namespace
 
 FaultPlan FaultPlan::parse_script(const std::string& text) {
@@ -87,26 +132,54 @@ FaultPlan FaultPlan::parse_script(const std::string& text) {
         e.down_for = seconds(parse_num(entry, tok[3], "bad down_s"));
       }
     } else if (verb == "linkdown") {
-      if (tok.size() != 5) {
-        bad_entry(entry, "linkdown takes <clusterA> <clusterB> <for_s>");
-      }
       e.kind = FaultKind::kLinkDown;
-      e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
-      e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
-      e.down_for = seconds(parse_num(entry, tok[4], "bad for_s"));
-    } else if (verb == "degrade") {
-      if (tok.size() != 7) {
+      if (tok.size() == 4 && parse_arrow_pair(entry, tok[2], e)) {
+        e.down_for = seconds(parse_num(entry, tok[3], "bad for_s"));
+      } else if (tok.size() == 5) {
+        e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
+        e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
+        e.down_for = seconds(parse_num(entry, tok[4], "bad for_s"));
+      } else {
         bad_entry(entry,
-                  "degrade takes <cA> <cB> <loss> <lat_factor> <for_s>");
+                  "linkdown takes <clusterA> <clusterB> <for_s> "
+                  "or <cA>-><cB> <for_s>");
       }
+      if (e.cluster_a == e.cluster_b) bad_entry(entry, "self link");
+    } else if (verb == "degrade") {
       e.kind = FaultKind::kLinkDegrade;
-      e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
-      e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
-      e.loss = parse_num(entry, tok[4], "bad loss");
-      e.latency_factor = parse_num(entry, tok[5], "bad latency factor");
-      e.down_for = seconds(parse_num(entry, tok[6], "bad for_s"));
+      std::size_t arg = 3;
+      if (tok.size() == 6 && parse_arrow_pair(entry, tok[2], e)) {
+        // one-way form: <cA>-><cB> <loss> <lat_factor> <for_s>
+      } else if (tok.size() == 7) {
+        e.cluster_a = parse_id(entry, tok[2], "bad cluster id");
+        e.cluster_b = parse_id(entry, tok[3], "bad cluster id");
+        arg = 4;
+      } else {
+        bad_entry(entry,
+                  "degrade takes <cA> <cB> <loss> <lat_factor> <for_s> "
+                  "or <cA>-><cB> <loss> <lat_factor> <for_s>");
+      }
+      e.loss = parse_num(entry, tok[arg], "bad loss");
+      e.latency_factor = parse_num(entry, tok[arg + 1], "bad latency factor");
+      e.down_for = seconds(parse_num(entry, tok[arg + 2], "bad for_s"));
       if (e.loss < 0.0 || e.loss > 1.0) bad_entry(entry, "loss not in [0,1]");
       if (e.latency_factor < 1.0) bad_entry(entry, "latency factor < 1");
+      if (e.cluster_a == e.cluster_b) bad_entry(entry, "self link");
+    } else if (verb == "partition") {
+      if (tok.size() != 4) {
+        bad_entry(entry, "partition takes <a,b|c,d> <for_s>");
+      }
+      e.kind = FaultKind::kPartition;
+      parse_groups(entry, tok[2], e);
+      e.down_for = seconds(parse_num(entry, tok[3], "bad for_s"));
+    } else if (verb == "coordcrash") {
+      if (tok.size() != 2 && tok.size() != 3) {
+        bad_entry(entry, "coordcrash takes [down_s]");
+      }
+      e.kind = FaultKind::kCoordinatorCrash;
+      if (tok.size() == 3) {
+        e.down_for = seconds(parse_num(entry, tok[2], "bad down_s"));
+      }
     } else if (verb == "diskslow") {
       if (tok.size() != 4) bad_entry(entry, "diskslow takes <factor> <for_s>");
       e.kind = FaultKind::kDiskSlow;
@@ -225,6 +298,33 @@ void FaultPlan::sample(const StochasticFaults& spec, std::uint32_t node_count,
     e.store = static_cast<std::uint32_t>(r.below(store_count));
     events_.push_back(e);
   });
+
+  sim::Rng partition_rng = rng.fork(0x9A27);
+  arrivals(partition_rng, spec.partition_mtbf, [&](sim::Rng& r, sim::Time t) {
+    if (cluster_count < 2) return;
+    // Split around a random pivot: one cluster against all the others —
+    // the common real-world shape (one site loses its uplink).
+    const auto pivot = static_cast<std::uint32_t>(r.below(cluster_count));
+    FaultEvent e;
+    e.at = t;
+    e.kind = FaultKind::kPartition;
+    e.group_a.push_back(pivot);
+    for (std::uint32_t c = 0; c < cluster_count; ++c) {
+      if (c != pivot) e.group_b.push_back(c);
+    }
+    e.down_for = spec.partition_for;
+    events_.push_back(e);
+  });
+
+  sim::Rng coord_rng = rng.fork(0xC04D);
+  arrivals(coord_rng, spec.coordinator_crash_mtbf,
+           [&](sim::Rng&, sim::Time t) {
+             FaultEvent e;
+             e.at = t;
+             e.kind = FaultKind::kCoordinatorCrash;
+             e.down_for = spec.coordinator_down_for;
+             events_.push_back(e);
+           });
 }
 
 std::vector<FaultEvent> FaultPlan::schedule() const {

@@ -21,6 +21,8 @@ enum class FaultKind : std::uint8_t {
   kClockStep,    ///< step one host's wall clock by `clock_step`
   kStoreCorrupt, ///< silently corrupt a stored object (found at read)
   kStoreTear,    ///< kill a store mid-write: in-flight writes land torn
+  kPartition,    ///< cut every link between two groups of clusters
+  kCoordinatorCrash,  ///< kill the DVC control plane (reboots after down_for)
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
@@ -33,6 +35,14 @@ struct FaultEvent {
   std::uint32_t node = 0;       ///< crash / clock-step target
   std::uint32_t cluster_a = 0;  ///< link faults: one side
   std::uint32_t cluster_b = 0;  ///< link faults: other side
+  /// Link faults: affect only the cluster_a -> cluster_b direction (a
+  /// dying transceiver rather than a severed cable).
+  bool one_way = false;
+  /// Partition: the two sides of the cut. Every (a in group_a, b in
+  /// group_b) cluster pair is severed in both directions; links within a
+  /// side stay healthy.
+  std::vector<std::uint32_t> group_a;
+  std::vector<std::uint32_t> group_b;
   /// Crash: time until repair (0 = permanent). Link/disk faults: time
   /// until the fault lifts.
   sim::Duration down_for = 0;
@@ -67,6 +77,14 @@ struct StochasticFaults {
   /// Torn-write process: each arrival kills a uniformly chosen store's
   /// in-flight writes mid-stream (a no-op arrival is counted as skipped).
   sim::Duration store_tear_mtbf = 0;
+  /// Partition process: each arrival splits the clusters around a random
+  /// pivot (one cluster vs the rest) for `partition_for`.
+  sim::Duration partition_mtbf = 0;
+  sim::Duration partition_for = 30 * sim::kSecond;
+  /// Coordinator-crash process: each arrival kills the control plane,
+  /// which reboots after `coordinator_down_for` (0 = stays dead).
+  sim::Duration coordinator_crash_mtbf = 0;
+  sim::Duration coordinator_down_for = 20 * sim::kSecond;
 };
 
 /// A deterministic schedule of faults: explicit scripted events plus
@@ -83,11 +101,15 @@ class FaultPlan final {
   /// each entry is `<time_s> <verb> <args...>` with verbs:
   ///   crash <node> [down_s]                    node crash (reboot if down_s)
   ///   linkdown <clusterA> <clusterB> <for_s>   cut an inter-cluster link
+  ///   linkdown <cA>-><cB> <for_s>              one-way cut (A->B only)
   ///   degrade <cA> <cB> <loss> <lat_x> <for_s> lossy/slow inter-cluster link
+  ///   degrade <cA>-><cB> <loss> <lat_x> <for_s> one-way degrade
   ///   diskslow <factor> <for_s>                shared-store bandwidth / factor
   ///   clockstep <node> <ms>                    step a host clock (ms, signed)
   ///   corrupt <store> <nth_newest>             silently corrupt an object
   ///   tear <store>                             tear the store's in-flight writes
+  ///   partition <a,b|c,d> <for_s>              cut clusters {a,b} off from {c,d}
+  ///   coordcrash [down_s]                      kill the DVC control plane
   /// Throws std::invalid_argument on malformed input.
   static FaultPlan parse_script(const std::string& text);
 

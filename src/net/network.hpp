@@ -145,12 +145,27 @@ class ClusterLinkModel final : public LinkModel {
     return it == cluster_of_.end() ? 0 : it->second;
   }
 
+  /// Symmetric override: applies to traffic in both directions between the
+  /// two clusters (the common whole-link fault).
   void set_pair_override(std::uint32_t cluster_a, std::uint32_t cluster_b,
                          PairOverride o) {
-    overrides_[pair_key(cluster_a, cluster_b)] = o;
+    overrides_[directed_key(cluster_a, cluster_b)] = o;
+    overrides_[directed_key(cluster_b, cluster_a)] = o;
   }
   void clear_pair_override(std::uint32_t cluster_a, std::uint32_t cluster_b) {
-    overrides_.erase(pair_key(cluster_a, cluster_b));
+    overrides_.erase(directed_key(cluster_a, cluster_b));
+    overrides_.erase(directed_key(cluster_b, cluster_a));
+  }
+
+  /// Directional override: applies only to traffic flowing `from` -> `to`.
+  /// Models one-way faults (a dying transceiver, asymmetric routing loss);
+  /// the reverse direction keeps its own independent state.
+  void set_directed_override(std::uint32_t from, std::uint32_t to,
+                             PairOverride o) {
+    overrides_[directed_key(from, to)] = o;
+  }
+  void clear_directed_override(std::uint32_t from, std::uint32_t to) {
+    overrides_.erase(directed_key(from, to));
   }
 
   [[nodiscard]] sim::Duration latency(HostId src, HostId dst,
@@ -177,11 +192,9 @@ class ClusterLinkModel final : public LinkModel {
   }
 
  private:
-  [[nodiscard]] static std::uint64_t pair_key(std::uint32_t a,
-                                              std::uint32_t b) noexcept {
-    const std::uint32_t lo = a < b ? a : b;
-    const std::uint32_t hi = a < b ? b : a;
-    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  [[nodiscard]] static std::uint64_t directed_key(std::uint32_t from,
+                                                  std::uint32_t to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
   [[nodiscard]] const Tier& tier(HostId src, HostId dst) const {
@@ -192,7 +205,7 @@ class ClusterLinkModel final : public LinkModel {
                                                   HostId dst) const {
     if (overrides_.empty()) return nullptr;
     const auto it =
-        overrides_.find(pair_key(cluster_of(src), cluster_of(dst)));
+        overrides_.find(directed_key(cluster_of(src), cluster_of(dst)));
     return it == overrides_.end() ? nullptr : &it->second;
   }
 

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dvc::storage {
+
+/// Epoch carried by storage/hypervisor commands issued outside any
+/// coordinator regime (library users driving subsystems directly). An
+/// unfenced command is always admitted.
+inline constexpr std::uint64_t kUnfencedEpoch = 0;
+
+/// Monotonic coordinator-epoch fence (the classic storage-fencing token).
+///
+/// The live coordinator stamps its current epoch into every state-changing
+/// command it issues (checkpoint-set mutations, hypervisor save/restore).
+/// After a coordinator crash the rebooted incarnation advances the epoch,
+/// so commands still in flight from the dead incarnation — callbacks on
+/// the simulator queue, retries scheduled before the crash — arrive with a
+/// stale epoch and are rejected at the storage/hypervisor layer instead of
+/// double-applying. This is what makes split-brain harmless: a deposed
+/// coordinator can keep issuing commands, but none of them land.
+class EpochFence final {
+ public:
+  [[nodiscard]] std::uint64_t current() const noexcept { return epoch_; }
+
+  /// Deposes the current epoch; returns the new one.
+  std::uint64_t advance() noexcept { return ++epoch_; }
+
+  /// Whether a command stamped with `epoch` may execute.
+  [[nodiscard]] bool admits(std::uint64_t epoch) const noexcept {
+    return epoch == kUnfencedEpoch || epoch == epoch_;
+  }
+
+ private:
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace dvc::storage

@@ -28,7 +28,9 @@ std::optional<ObjectId> ImageManager::find_base_image(
 }
 
 CheckpointSetId ImageManager::open_set(std::string label,
-                                       std::size_t members) {
+                                       std::size_t members,
+                                       std::uint64_t epoch) {
+  if (fenced(epoch)) return kInvalidCheckpointSet;
   const CheckpointSetId id = next_set_++;
   CheckpointSet s;
   s.id = id;
@@ -41,7 +43,9 @@ CheckpointSetId ImageManager::open_set(std::string label,
 
 void ImageManager::add_member(CheckpointSetId set, std::uint64_t member,
                               std::uint64_t bytes,
-                              std::function<void()> on_member_done) {
+                              std::function<void()> on_member_done,
+                              std::uint64_t epoch) {
+  if (fenced(epoch)) return;
   auto it = sets_.find(set);
   if (it == sets_.end() || it->second.aborted) return;
   const std::uint64_t checksum = synthetic_checksum(set, member, bytes);
@@ -105,7 +109,8 @@ void ImageManager::drop_member_objects(const MemberImage& m) {
   }
 }
 
-void ImageManager::abort_set(CheckpointSetId set) {
+void ImageManager::abort_set(CheckpointSetId set, std::uint64_t epoch) {
+  if (fenced(epoch)) return;
   auto it = sets_.find(set);
   if (it == sets_.end() || it->second.sealed) return;
   it->second.aborted = true;
@@ -115,7 +120,9 @@ void ImageManager::abort_set(CheckpointSetId set) {
   telemetry::count(metrics_, "storage.images.sets_aborted");
 }
 
-std::uint64_t ImageManager::discard_set(CheckpointSetId set) {
+std::uint64_t ImageManager::discard_set(CheckpointSetId set,
+                                        std::uint64_t epoch) {
+  if (fenced(epoch)) return 0;
   auto it = sets_.find(set);
   if (it == sets_.end()) return 0;
   std::uint64_t reclaimed = 0;
@@ -162,6 +169,15 @@ const CheckpointSet* ImageManager::latest_sealed(
     if (s.sealed && s.label == label) best = &s;  // map is id-ordered
   }
   return best;
+}
+
+std::vector<const CheckpointSet*> ImageManager::sets_with_label(
+    const std::string& label) const {
+  std::vector<const CheckpointSet*> out;
+  for (const auto& [id, s] : sets_) {
+    if (s.label == label) out.push_back(&s);  // map is id-ordered
+  }
+  return out;
 }
 
 void ImageManager::mark_damaged(CheckpointSet& s) {
@@ -248,8 +264,9 @@ void ImageManager::stage_set(CheckpointSetId set,
   }
 }
 
-std::uint64_t ImageManager::prune(const std::string& label,
-                                  std::size_t keep) {
+std::uint64_t ImageManager::prune(const std::string& label, std::size_t keep,
+                                  std::uint64_t epoch) {
+  if (fenced(epoch)) return 0;
   std::vector<CheckpointSetId> sealed;
   for (const auto& [id, s] : sets_) {
     if (s.sealed && s.label == label) sealed.push_back(id);

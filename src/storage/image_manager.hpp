@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "storage/epoch_fence.hpp"
 #include "storage/shared_store.hpp"
 
 namespace dvc::storage {
@@ -84,25 +85,31 @@ class ImageManager final {
   [[nodiscard]] std::optional<ObjectId> find_base_image(
       const std::string& name) const;
 
-  /// Opens a new checkpoint set expecting `members` images.
-  CheckpointSetId open_set(std::string label, std::size_t members);
+  /// Opens a new checkpoint set expecting `members` images. A fenced
+  /// (stale-epoch) open returns kInvalidCheckpointSet.
+  CheckpointSetId open_set(std::string label, std::size_t members,
+                           std::uint64_t epoch = kUnfencedEpoch);
 
   /// Streams one member's image into the store; on durability the image is
   /// recorded in the set and, if it was the last one, the set seals.
-  /// `on_member_done` fires when this member's image is durable.
+  /// `on_member_done` fires when this member's image is durable. A fenced
+  /// write behaves like a write to a missing set: nothing happens and the
+  /// callback never fires.
   void add_member(CheckpointSetId set, std::uint64_t member,
                   std::uint64_t bytes,
-                  std::function<void()> on_member_done = {});
+                  std::function<void()> on_member_done = {},
+                  std::uint64_t epoch = kUnfencedEpoch);
 
   /// Marks a set as aborted (e.g. a save failed mid-flight). Aborted sets
   /// never seal and their images are garbage-collected.
-  void abort_set(CheckpointSetId set);
+  void abort_set(CheckpointSetId set, std::uint64_t epoch = kUnfencedEpoch);
 
   /// Permanently removes a set, sealed or not, reclaiming its bytes.
   /// Unlike abort_set this also takes sealed sets — used to quarantine a
   /// checkpoint whose application image is known-bad (keeping it would let
   /// prune() push the last good recovery point out of the keep window).
-  std::uint64_t discard_set(CheckpointSetId set);
+  std::uint64_t discard_set(CheckpointSetId set,
+                            std::uint64_t epoch = kUnfencedEpoch);
 
   /// Registers a callback fired when the set seals (all members durable).
   void on_sealed(CheckpointSetId set, std::function<void()> fn);
@@ -111,6 +118,11 @@ class ImageManager final {
 
   /// Latest sealed set with the given label, if any — what restart uses.
   [[nodiscard]] const CheckpointSet* latest_sealed(
+      const std::string& label) const;
+
+  /// Every live set filed under this label, oldest first — the ground
+  /// truth a rebooted coordinator reconciles its journal against.
+  [[nodiscard]] std::vector<const CheckpointSet*> sets_with_label(
       const std::string& label) const;
 
   /// Verified read of one member image with replica failover: tries the
@@ -128,7 +140,13 @@ class ImageManager final {
 
   /// Deletes all sealed sets with this label except the most recent
   /// `keep`. Returns bytes reclaimed.
-  std::uint64_t prune(const std::string& label, std::size_t keep);
+  std::uint64_t prune(const std::string& label, std::size_t keep,
+                      std::uint64_t epoch = kUnfencedEpoch);
+
+  /// Attaches the coordinator-epoch fence (null = unfenced). Mutations
+  /// stamped with a stale epoch are rejected and counted in
+  /// `storage.images.fenced_writes`.
+  void set_fence(const EpochFence* fence) noexcept { fence_ = fence; }
 
   [[nodiscard]] SharedStore& store() noexcept { return *store_; }
   [[nodiscard]] SharedStore& replica(std::size_t i) noexcept {
@@ -142,6 +160,14 @@ class ImageManager final {
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
  private:
+  /// True (and counted) when a mutation stamped with `epoch` must be
+  /// rejected because a newer coordinator incarnation holds the fence.
+  [[nodiscard]] bool fenced(std::uint64_t epoch) {
+    if (fence_ == nullptr || fence_->admits(epoch)) return false;
+    telemetry::count(metrics_, "storage.images.fenced_writes");
+    return true;
+  }
+
   void maybe_seal(CheckpointSet& s);
   void replicate_member(CheckpointSetId set, std::uint64_t member,
                         std::uint64_t bytes);
@@ -151,6 +177,7 @@ class ImageManager final {
                         std::size_t copy, std::function<void(bool)> on_done);
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  const EpochFence* fence_ = nullptr;
   SharedStore* store_;
   std::vector<SharedStore*> replicas_;
   std::unordered_map<std::string, ObjectId> base_images_;

@@ -59,7 +59,7 @@ void Hypervisor::save_domain(VirtualMachine& vm,
                              storage::CheckpointSetId set,
                              std::uint64_t member,
                              std::function<void(bool, std::any)> on_durable,
-                             bool incremental) {
+                             bool incremental, std::uint64_t epoch) {
   const sim::Time begin = sim_->now();
   auto op = std::make_shared<SaveOp>();
   op->cb = std::move(on_durable);
@@ -67,9 +67,16 @@ void Hypervisor::save_domain(VirtualMachine& vm,
   const std::uint64_t op_id = next_save_op_++;
   if (cfg_.abort_saves_on_failure) inflight_saves_.emplace(op_id, op);
   sim_->schedule_after(cmd_latency(), [this, &vm, &images, set, member,
-                                       incremental, begin, op, op_id] {
+                                       incremental, epoch, begin, op,
+                                       op_id] {
     if (op->finished) return;  // aborted by node death
     if (node_failed() || vm.state() == DomainState::kDead) {
+      finish_save(op_id, op, false, std::any{});
+      return;
+    }
+    // Fence before the guest freezes: a save ordered by a deposed
+    // coordinator must not even pause the domain, let alone write.
+    if (fenced(epoch)) {
       finish_save(op_id, op, false, std::any{});
       return;
     }
@@ -91,10 +98,16 @@ void Hypervisor::save_domain(VirtualMachine& vm,
             : vm.config().ram_bytes;
     sim_->schedule_after(
         cfg_.save_overhead,
-        [this, &vm, &images, set, member, image_bytes, begin, op, op_id,
-         state = std::move(app_state)] {
+        [this, &vm, &images, set, member, image_bytes, epoch, begin, op,
+         op_id, state = std::move(app_state)] {
           if (op->finished) return;
           if (node_failed() || vm.state() == DomainState::kDead) {
+            finish_save(op_id, op, false, std::any{});
+            return;
+          }
+          // The epoch may have moved while the device quiesce ran; the
+          // image manager fences the actual write.
+          if (fenced(epoch)) {
             finish_save(op_id, op, false, std::any{});
             return;
           }
@@ -116,7 +129,8 @@ void Hypervisor::save_domain(VirtualMachine& vm,
                 telemetry::observe(metrics_, "vm.hypervisor.save_s",
                                    sim::to_seconds(sim_->now() - begin));
                 finish_save(op_id, op, true, std::move(state));
-              });
+              },
+              epoch);
         });
   });
 }
@@ -130,7 +144,12 @@ void Hypervisor::restore_domain(VirtualMachine& vm,
                                 storage::ImageManager& images,
                                 storage::CheckpointSetId set,
                                 std::uint64_t member, std::any app_state,
-                                std::function<void(bool)> on_done) {
+                                std::function<void(bool)> on_done,
+                                std::uint64_t epoch) {
+  if (fenced(epoch)) {
+    if (on_done) on_done(false);
+    return;
+  }
   const storage::CheckpointSet* cs = images.find_set(set);
   if (cs == nullptr || !cs->sealed) {
     if (on_done) on_done(false);

@@ -66,10 +66,15 @@ class Hypervisor final {
   /// With `incremental` set (and a prior full image), only the memory the
   /// guest dirtied since its last image is written — much cheaper, but a
   /// restore must stage the whole chain back to the last full image.
+  ///
+  /// `epoch` is the issuing coordinator's fencing token: a save stamped
+  /// with a stale epoch is rejected before the guest is paused (counted in
+  /// `vm.hypervisor.fenced_commands`) and reports failure.
   void save_domain(VirtualMachine& vm, storage::ImageManager& images,
                    storage::CheckpointSetId set, std::uint64_t member,
                    std::function<void(bool, std::any)> on_durable,
-                   bool incremental = false);
+                   bool incremental = false,
+                   std::uint64_t epoch = storage::kUnfencedEpoch);
 
   /// Thaws a paused or saved domain.
   void resume_domain(VirtualMachine& vm);
@@ -79,7 +84,8 @@ class Hypervisor final {
   /// this node. `on_done(ok)` reports staging integrity.
   void restore_domain(VirtualMachine& vm, storage::ImageManager& images,
                       storage::CheckpointSetId set, std::uint64_t member,
-                      std::any app_state, std::function<void(bool)> on_done);
+                      std::any app_state, std::function<void(bool)> on_done,
+                      std::uint64_t epoch = storage::kUnfencedEpoch);
 
   /// Removes a domain from this node without destroying it (migration
   /// hand-off); the domain must be paused, saved, or dead.
@@ -112,7 +118,20 @@ class Hypervisor final {
   /// span on the `vm/node<N>` timeline track.
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
+  /// Attaches the coordinator-epoch fence (null = unfenced).
+  void set_fence(const storage::EpochFence* fence) noexcept {
+    fence_ = fence;
+  }
+
  private:
+  /// True (and counted) when a command stamped with `epoch` comes from a
+  /// deposed coordinator and must be rejected.
+  [[nodiscard]] bool fenced(std::uint64_t epoch) {
+    if (fence_ == nullptr || fence_->admits(epoch)) return false;
+    telemetry::count(metrics_, "vm.hypervisor.fenced_commands");
+    return true;
+  }
+
   /// Shared state of one in-flight save: stage continuations consult
   /// `finished` so an abort delivered from on_node_failure() wins the race
   /// against whatever stage was pending.
@@ -139,6 +158,7 @@ class Hypervisor final {
   std::uint64_t restores_completed_ = 0;
   std::uint64_t saves_aborted_ = 0;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  const storage::EpochFence* fence_ = nullptr;
   std::string track_;  ///< timeline track name ("vm/node<N>")
 };
 
@@ -156,6 +176,11 @@ class HypervisorFleet final {
   /// Forwards the registry to every node's hypervisor.
   void set_metrics(telemetry::MetricsRegistry* m) noexcept {
     for (auto& h : fleet_) h->set_metrics(m);
+  }
+
+  /// Forwards the coordinator-epoch fence to every node's hypervisor.
+  void set_fence(const storage::EpochFence* fence) noexcept {
+    for (auto& h : fleet_) h->set_fence(fence);
   }
 
  private:

@@ -21,9 +21,10 @@ using test::TestBedOptions;
 bool same_event(const FaultEvent& a, const FaultEvent& b) {
   return a.at == b.at && a.kind == b.kind && a.node == b.node &&
          a.cluster_a == b.cluster_a && a.cluster_b == b.cluster_b &&
-         a.down_for == b.down_for && a.loss == b.loss &&
-         a.latency_factor == b.latency_factor && a.factor == b.factor &&
-         a.clock_step == b.clock_step;
+         a.one_way == b.one_way && a.group_a == b.group_a &&
+         a.group_b == b.group_b && a.down_for == b.down_for &&
+         a.loss == b.loss && a.latency_factor == b.latency_factor &&
+         a.factor == b.factor && a.clock_step == b.clock_step;
 }
 
 bool same_schedule(const std::vector<FaultEvent>& a,
@@ -67,6 +68,55 @@ TEST(FaultPlanTest, ParsesEveryVerb) {
   EXPECT_EQ(s[4].kind, FaultKind::kClockStep);
   EXPECT_EQ(s[4].node, 2u);
   EXPECT_EQ(s[4].clock_step, -250 * sim::kMillisecond);
+}
+
+TEST(FaultPlanTest, ParsesOneWayPartitionAndCoordcrashVerbs) {
+  const FaultPlan plan = FaultPlan::parse_script(
+      "5 linkdown 0->1 30; 10 degrade 1->0 0.2 2 30\n"
+      "15 partition 0,1|2 20; 20 coordcrash 15; 25 coordcrash");
+  const std::vector<FaultEvent> s = plan.schedule();
+  ASSERT_EQ(s.size(), 5u);
+
+  EXPECT_EQ(s[0].kind, FaultKind::kLinkDown);
+  EXPECT_TRUE(s[0].one_way);
+  EXPECT_EQ(s[0].cluster_a, 0u);
+  EXPECT_EQ(s[0].cluster_b, 1u);
+  EXPECT_EQ(s[0].down_for, 30 * sim::kSecond);
+
+  EXPECT_EQ(s[1].kind, FaultKind::kLinkDegrade);
+  EXPECT_TRUE(s[1].one_way);
+  EXPECT_EQ(s[1].cluster_a, 1u);
+  EXPECT_EQ(s[1].cluster_b, 0u);
+  EXPECT_DOUBLE_EQ(s[1].loss, 0.2);
+  EXPECT_DOUBLE_EQ(s[1].latency_factor, 2.0);
+
+  EXPECT_EQ(s[2].kind, FaultKind::kPartition);
+  EXPECT_EQ(s[2].group_a, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(s[2].group_b, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(s[2].down_for, 20 * sim::kSecond);
+
+  EXPECT_EQ(s[3].kind, FaultKind::kCoordinatorCrash);
+  EXPECT_EQ(s[3].down_for, 15 * sim::kSecond);
+  // A coordcrash with no duration: down until explicitly rebooted.
+  EXPECT_EQ(s[4].kind, FaultKind::kCoordinatorCrash);
+  EXPECT_EQ(s[4].down_for, 0);
+}
+
+TEST(FaultPlanTest, RejectsBadPartitionAndOneWayScripts) {
+  // Self links, in either syntax.
+  EXPECT_THROW(FaultPlan::parse_script("5 linkdown 0->0 10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_script("5 degrade 1->1 0.1 2 10"),
+               std::invalid_argument);
+  // Partition groups must be two non-empty disjoint sides.
+  EXPECT_THROW(FaultPlan::parse_script("5 partition 01 10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_script("5 partition |1 10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_script("5 partition 0,1|1 10"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse_script("5 coordcrash 1 2"),
+               std::invalid_argument);
 }
 
 TEST(FaultPlanTest, RejectsMalformedScripts) {
@@ -114,6 +164,8 @@ StochasticFaults full_spec() {
   spec.link_down_mtbf = 200 * sim::kSecond;
   spec.disk_slow_mtbf = 150 * sim::kSecond;
   spec.clock_step_mtbf = 100 * sim::kSecond;
+  spec.partition_mtbf = 250 * sim::kSecond;
+  spec.coordinator_crash_mtbf = 300 * sim::kSecond;
   return spec;
 }
 
@@ -166,7 +218,8 @@ TestBedOptions two_cluster_opts() {
 }
 
 FaultInjector::Hooks hooks_for(TestBed& bed) {
-  return FaultInjector::Hooks{&bed.fabric, &bed.store, bed.time.get(), {}};
+  return FaultInjector::Hooks{&bed.fabric, &bed.store, bed.time.get(), {},
+                              {}};
 }
 
 TEST(FaultInjectorTest, NodeCrashFailsAndRebootsTheNode) {
@@ -201,6 +254,77 @@ TEST(FaultInjectorTest, LinkDownCutsThePairThenRestoresIt) {
 
   bed.sim.run_until(20 * sim::kSecond);
   EXPECT_DOUBLE_EQ(links.loss_probability(0, 4), base);
+}
+
+TEST(FaultInjectorTest, OneWayCutAffectsOnlyThatDirection) {
+  TestBed bed(two_cluster_opts());
+  FaultInjector inj(bed.sim, hooks_for(bed), &bed.metrics);
+  inj.arm(FaultPlan::parse_script("5 linkdown 0->1 10"));
+
+  net::ClusterLinkModel& links = bed.fabric.links();
+  const double base = links.loss_probability(0, 4);
+
+  bed.sim.run_until(6 * sim::kSecond);
+  // Forward traffic drops; the reverse direction is untouched — the
+  // asymmetric-transceiver failure mode.
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(links.loss_probability(4, 0), base);
+
+  bed.sim.run_until(20 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 4), base);
+  EXPECT_EQ(inj.lifted_total(), 1u);
+}
+
+TEST(FaultInjectorTest, PartitionCutsOnlyCrossGroupTraffic) {
+  TestBedOptions o;
+  o.clusters = 3;
+  o.nodes_per_cluster = 2;  // hosts 0-1 / 2-3 / 4-5
+  TestBed bed(o);
+  FaultInjector inj(bed.sim, hooks_for(bed), &bed.metrics);
+  inj.arm(FaultPlan::parse_script("5 partition 0|1,2 10"));
+
+  net::ClusterLinkModel& links = bed.fabric.links();
+  const double base = links.loss_probability(2, 4);
+
+  bed.sim.run_until(6 * sim::kSecond);
+  // Every ordered pair across the cut drops...
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(links.loss_probability(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(links.loss_probability(4, 0), 1.0);
+  // ...while traffic within a side flows normally: clusters 1 and 2 are
+  // on the same side, and intra-cluster links never see the fault.
+  EXPECT_DOUBLE_EQ(links.loss_probability(2, 4), base);
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 1), 0.0);
+
+  bed.sim.run_until(20 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 2), base);
+  EXPECT_DOUBLE_EQ(links.loss_probability(0, 4), base);
+  EXPECT_EQ(inj.injected(FaultKind::kPartition), 1u);
+}
+
+TEST(FaultInjectorTest, CoordinatorCrashInvokesHookOrIsSkipped) {
+  TestBed bed(two_cluster_opts());
+  std::vector<sim::Duration> crashes;
+  FaultInjector::Hooks hooks = hooks_for(bed);
+  hooks.coordinator_crash = [&](sim::Duration down_for) {
+    crashes.push_back(down_for);
+  };
+  FaultInjector inj(bed.sim, hooks, &bed.metrics);
+  inj.arm(FaultPlan::parse_script("5 coordcrash 15; 8 coordcrash"));
+
+  bed.sim.run_until(20 * sim::kSecond);
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0], 15 * sim::kSecond);
+  EXPECT_EQ(crashes[1], 0);
+  EXPECT_EQ(inj.injected(FaultKind::kCoordinatorCrash), 2u);
+
+  // Without a hook the event is skipped, not crashed-on.
+  TestBed bare(two_cluster_opts());
+  FaultInjector lone(bare.sim, hooks_for(bare), &bare.metrics);
+  lone.arm(FaultPlan::parse_script("5 coordcrash 15"));
+  bare.sim.run_until(20 * sim::kSecond);
+  EXPECT_EQ(lone.skipped_total(), 1u);
 }
 
 TEST(FaultInjectorTest, DegradeAddsLossAndNestsUnderACut) {
@@ -267,7 +391,7 @@ TEST(FaultInjectorTest, UnappliableEventsAreCountedAsSkipped) {
   // No store hook: disk events cannot be applied.
   FaultInjector inj(bed.sim,
                     FaultInjector::Hooks{&bed.fabric, nullptr,
-                                         bed.time.get(), {}},
+                                         bed.time.get(), {}, {}},
                     &bed.metrics);
   inj.arm(FaultPlan::parse_script(
       "5 diskslow 4 10; 6 crash 99; 7 crash 1 30; 8 crash 1 30"));

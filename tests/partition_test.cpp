@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "testbed.hpp"
+
+namespace dvc {
+namespace {
+
+using test::TestBed;
+using test::TestBedOptions;
+
+app::WorkloadSpec chatty_job(app::RankId ranks, std::uint32_t iters) {
+  app::WorkloadSpec s;
+  s.name = "partition-test";
+  s.ranks = ranks;
+  s.iterations = iters;
+  s.flops_per_rank_iter = 1e9;  // ~0.1 s of compute per iteration
+  s.pattern = app::Pattern::kAllToAll;
+  s.bytes_per_msg = 4096;
+  return s;
+}
+
+/// A VC + application + auto-recovery stack whose control plane is itself
+/// a fault domain: the DVC coordinator runs on a designated head node,
+/// journals intents, and fences its commands with the coordinator epoch.
+struct CoordStack {
+  CoordStack(std::uint32_t clusters, std::uint32_t nodes_per_cluster,
+             std::uint32_t vc_size, std::uint32_t iters,
+             core::DvcManager::RecoveryPolicy base_policy,
+             hw::NodeId head, std::uint64_t seed = 26)
+      : bed(make_options(clusters, nodes_per_cluster, seed)),
+        lsc(bed.sim, {}, sim::Rng(seed ^ 0x15C)) {
+    lsc.set_metrics(&bed.metrics);
+    core::VcSpec spec;
+    spec.name = "coord-vc";
+    spec.size = vc_size;
+    spec.guest.ram_bytes = 128ull << 20;
+    vc = &bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(vc_size), {});
+    bed.dvc->designate_head_node(head);
+    bed.sim.run_until(20 * sim::kSecond);  // boot completes at 15 s
+    application = std::make_unique<app::ParallelApp>(
+        bed.sim, bed.fabric.network(), vc->contexts(),
+        chatty_job(vc_size, iters));
+    bed.dvc->attach_app(*vc, *application);
+    application->start();
+    base_policy.coordinator = &lsc;
+    bed.dvc->enable_auto_recovery(*vc, base_policy);
+  }
+
+  static TestBedOptions make_options(std::uint32_t clusters,
+                                     std::uint32_t nodes_per_cluster,
+                                     std::uint64_t seed) {
+    TestBedOptions o;
+    o.clusters = clusters;
+    o.nodes_per_cluster = nodes_per_cluster;
+    o.seed = seed;
+    o.store.write_bps = 200e6;
+    o.store.read_bps = 400e6;
+    o.hv.abort_saves_on_failure = true;
+    return o;
+  }
+
+  TestBed bed;
+  ckpt::NtpLscCoordinator lsc;
+  core::VirtualCluster* vc = nullptr;
+  std::unique_ptr<app::ParallelApp> application;
+};
+
+core::DvcManager::RecoveryPolicy manual_rounds_policy() {
+  core::DvcManager::RecoveryPolicy p;
+  p.interval = 300 * sim::kSecond;  // periodic rounds out of the way
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Crash the coordinator at every phase of an LSC round — before the
+// guests freeze, mid-save, just before the seal, and after the seal. In
+// every case the control plane must come back consistent: the deposed
+// round's set is either the (single) recovery point or swept as an
+// orphan, a fresh round succeeds afterwards, and the job keeps running.
+
+TEST(CoordinatorRecoveryTest, CrashAtEveryRoundPhaseEndsConsistent) {
+  // A round at 30 s: guests freeze at ~32 s (NTP lead), the 8 x 128 MiB
+  // set drains for ~5 s after that and seals at ~37.5 s.
+  const double phases[] = {30.5, 33.0, 36.0, 40.0};
+  for (const double crash_s : phases) {
+    SCOPED_TRACE("coordinator crash at " + std::to_string(crash_s) + " s");
+    CoordStack s(/*clusters=*/1, /*nodes=*/12, /*vc=*/8, /*iters=*/3000,
+                 manual_rounds_policy(), /*head=*/11);
+
+    std::optional<ckpt::LscResult> first;
+    s.bed.sim.schedule_at(30 * sim::kSecond, [&] {
+      s.bed.dvc->checkpoint_vc(*s.vc, s.lsc,
+                               [&](ckpt::LscResult r) { first = r; });
+    });
+    s.bed.sim.schedule_at(
+        static_cast<sim::Time>(crash_s * sim::kSecond),
+        [&] { s.bed.dvc->crash_coordinator(10 * sim::kSecond); });
+
+    s.bed.sim.run_until(100 * sim::kSecond);
+    EXPECT_TRUE(s.bed.dvc->coordinator_up());
+    EXPECT_EQ(s.bed.dvc->coordinator_crashes(), 1u);
+    EXPECT_EQ(s.bed.dvc->coordinator_reboots(), 1u);
+    // The round's completion either reached the issuing incarnation
+    // (post-seal crash) or was dropped at the door as stale.
+    EXPECT_TRUE(first.has_value() ||
+                s.bed.dvc->stale_completions() >= 1u);
+
+    // The rebooted incarnation is fully operational: a fresh round seals
+    // and becomes *the* recovery point — the deposed round's set (whose
+    // app snapshots died with the old coordinator) cannot shadow it.
+    std::optional<ckpt::LscResult> second;
+    s.bed.dvc->checkpoint_vc(*s.vc, s.lsc,
+                             [&](ckpt::LscResult r) { second = r; });
+    s.bed.sim.run_until(160 * sim::kSecond);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->ok);
+    const storage::CheckpointSet* latest =
+        s.bed.images.latest_sealed(s.vc->checkpoint_label());
+    ASSERT_NE(latest, nullptr);
+    EXPECT_EQ(latest->id, second->set);
+
+    // Every journalled intent was either completed or resolved by the
+    // reboot's reconciliation pass — nothing half-open remains.
+    EXPECT_GT(s.bed.metrics.counter_value("core.dvc.wal_appends"), 0u);
+    ASSERT_NE(s.bed.dvc->intent_log(), nullptr);
+    EXPECT_TRUE(s.bed.dvc->intent_log()->open_intents().empty());
+
+    // The application survived the whole episode and makes progress.
+    EXPECT_FALSE(s.application->failed());
+    const auto iter_then = s.application->rank(0).state().iter;
+    s.bed.sim.run_until(190 * sim::kSecond);
+    EXPECT_GT(s.application->rank(0).state().iter, iter_then);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Split-brain fencing: commands stamped with a deposed incarnation's
+// epoch are rejected at both enforcement points — the image store and the
+// hypervisors — and counted in telemetry.
+
+TEST(CoordinatorRecoveryTest, DeposedEpochIsFencedAtStoreAndHypervisor) {
+  CoordStack s(/*clusters=*/1, /*nodes=*/12, /*vc=*/4, /*iters=*/3000,
+               manual_rounds_policy(), /*head=*/11);
+  const std::uint64_t deposed = s.bed.dvc->coordinator_epoch();
+  EXPECT_EQ(deposed, s.bed.fence.current());
+
+  // Capture save targets stamped with the current epoch, then depose that
+  // incarnation: crash + reboot advances the fence.
+  std::vector<ckpt::SaveTarget> stale = s.bed.dvc->save_targets(*s.vc);
+  ASSERT_FALSE(stale.empty());
+  EXPECT_EQ(stale.front().epoch, deposed);
+  s.bed.dvc->crash_coordinator(sim::kSecond);
+  s.bed.sim.run_until(60 * sim::kSecond);  // reboot waits the lease out
+  ASSERT_TRUE(s.bed.dvc->coordinator_up());
+  EXPECT_GT(s.bed.dvc->coordinator_epoch(), deposed);
+
+  // Store fencing: a stale-epoch open yields no set.
+  EXPECT_EQ(s.bed.images.open_set("stale-round", 4, deposed),
+            storage::kInvalidCheckpointSet);
+  EXPECT_GE(s.bed.metrics.counter_value("storage.images.fenced_writes"), 1u);
+
+  // Hypervisor fencing: a stale-epoch save is rejected before the guest
+  // is even paused.
+  const storage::CheckpointSetId live = s.bed.images.open_set(
+      "fence-probe", 1, s.bed.fence.current());
+  ASSERT_NE(live, storage::kInvalidCheckpointSet);
+  std::optional<bool> saved;
+  stale.front().hypervisor->save_domain(
+      *stale.front().machine, s.bed.images, live, 0,
+      [&](bool ok, std::any) { saved = ok; }, false, deposed);
+  s.bed.sim.run_until(70 * sim::kSecond);
+  ASSERT_TRUE(saved.has_value());
+  EXPECT_FALSE(*saved);
+  EXPECT_GE(s.bed.metrics.counter_value("vm.hypervisor.fenced_commands"),
+            1u);
+  EXPECT_EQ(stale.front().machine->state(), vm::DomainState::kRunning);
+
+  // A whole LSC round driven with the deposed targets aborts cleanly at
+  // the store fence without freezing a single guest.
+  std::optional<ckpt::LscResult> r;
+  s.lsc.checkpoint(s.vc->checkpoint_label(), stale, s.bed.images,
+                   [&](ckpt::LscResult res) { r = res; });
+  s.bed.sim.run_until(90 * sim::kSecond);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->ok);
+  EXPECT_TRUE(r->aborted_cleanly);
+  EXPECT_FALSE(s.application->failed());
+}
+
+// ---------------------------------------------------------------------------
+// A partition cuts only traffic crossing the cut; each side keeps its
+// intra-side links. A cut shorter than the transport retry budget
+// (~12.6 s at the default config) is masked by retransmission: the
+// spanning job never notices.
+
+TEST(PartitionTest, ShortPartitionIsMaskedByRetransmission) {
+  // 8 ranks over 6-node clusters: the VC necessarily spans both.
+  CoordStack s(/*clusters=*/2, /*nodes=*/6, /*vc=*/8, /*iters=*/3000,
+               manual_rounds_policy(), /*head=*/0);
+  fault::FaultInjector injector(
+      s.bed.sim,
+      fault::FaultInjector::Hooks{&s.bed.fabric, &s.bed.store,
+                                  s.bed.time.get(), {}, {}},
+      &s.bed.metrics);
+  injector.arm(fault::FaultPlan::parse_script("40 partition 0|1 8"));
+
+  // Mid-window: cross-cut traffic drops both ways, intra-side flows.
+  s.bed.sim.schedule_at(44 * sim::kSecond, [&] {
+    net::ClusterLinkModel& links = s.bed.fabric.links();
+    EXPECT_DOUBLE_EQ(links.loss_probability(0, 6), 1.0);
+    EXPECT_DOUBLE_EQ(links.loss_probability(6, 0), 1.0);
+    EXPECT_DOUBLE_EQ(links.loss_probability(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(links.loss_probability(6, 7), 0.0);
+  });
+
+  s.bed.sim.run_until(120 * sim::kSecond);
+  EXPECT_EQ(injector.injected(fault::FaultKind::kPartition), 1u);
+  EXPECT_EQ(injector.lifted_total(), 1u);
+  // 8 s < the ~12.6 s retry budget: no endpoint aborted, no recovery ran,
+  // the job just stalled across the cut and caught up.
+  EXPECT_EQ(s.bed.metrics.counter_value("net.endpoint.aborts"), 0u);
+  EXPECT_EQ(s.bed.dvc->recoveries_performed(), 0u);
+  EXPECT_FALSE(s.application->failed());
+  const auto iter_then = s.application->rank(0).state().iter;
+  s.bed.sim.run_until(150 * sim::kSecond);
+  EXPECT_GT(s.application->rank(0).state().iter, iter_then);
+}
+
+// ---------------------------------------------------------------------------
+// migrate_vc failure paths: a death between the save-and-hold and the
+// restore must end in "resumed from the held checkpoint" or a diagnosed
+// failure — never a silent wedge.
+
+TEST(MigrateFailureTest, TargetNodeDeathMidMigrationNeverWedges) {
+  core::DvcManager::RecoveryPolicy policy = manual_rounds_policy();
+  policy.watchdog_interval = 10 * sim::kSecond;
+  CoordStack s(/*clusters=*/1, /*nodes=*/12, /*vc=*/4, /*iters=*/3000,
+               policy, /*head=*/11);
+
+  // Migrate onto 6..9; node 7 dies while the held images are moving
+  // (saves drain ~32–34.7 s, staging follows).
+  std::optional<bool> migrated;
+  s.bed.sim.schedule_at(30 * sim::kSecond, [&] {
+    s.bed.dvc->migrate_vc(*s.vc, s.lsc, {6, 7, 8, 9},
+                          [&](bool ok) { migrated = ok; });
+  });
+  s.bed.sim.schedule_at(
+      static_cast<sim::Time>(34.5 * sim::kSecond),
+      [&] { s.bed.fabric.fail_node(7); });
+
+  s.bed.sim.run_until(200 * sim::kSecond);
+  // The caller always hears the verdict.
+  ASSERT_TRUE(migrated.has_value());
+  // And the VC is either running again (in place or re-recovered from the
+  // held checkpoint) or its failure was diagnosed — not wedged.
+  if (s.bed.dvc->recoveries_abandoned() == 0) {
+    EXPECT_FALSE(s.application->failed());
+    const auto iter_then = s.application->rank(0).state().iter;
+    s.bed.sim.run_until(240 * sim::kSecond);
+    EXPECT_GT(s.application->rank(0).state().iter, iter_then);
+  }
+}
+
+TEST(MigrateFailureTest, CoordinatorCrashMidMigrationResumesOrRecovers) {
+  core::DvcManager::RecoveryPolicy policy = manual_rounds_policy();
+  policy.watchdog_interval = 10 * sim::kSecond;
+  CoordStack s(/*clusters=*/1, /*nodes=*/12, /*vc=*/4, /*iters=*/3000,
+               policy, /*head=*/11);
+
+  // The coordinator dies during the save-and-hold: the members sit frozen
+  // with nobody to move them until the reboot's reconciliation pass.
+  std::optional<bool> migrated;
+  s.bed.sim.schedule_at(30 * sim::kSecond, [&] {
+    s.bed.dvc->migrate_vc(*s.vc, s.lsc, {6, 7, 8, 9},
+                          [&](bool ok) { migrated = ok; });
+  });
+  s.bed.sim.schedule_at(
+      34 * sim::kSecond,
+      [&] { s.bed.dvc->crash_coordinator(10 * sim::kSecond); });
+
+  s.bed.sim.run_until(200 * sim::kSecond);
+  ASSERT_TRUE(s.bed.dvc->coordinator_up());
+  // Reconciliation either thawed the held members in place or re-drove a
+  // whole-VC recovery from the durable checkpoint.
+  EXPECT_GE(s.bed.metrics.counter_value("core.dvc.reconcile_resumes") +
+                s.bed.metrics.counter_value("core.dvc.reconcile_recoveries"),
+            1u);
+  EXPECT_FALSE(s.application->failed());
+  const auto iter_then = s.application->rank(0).state().iter;
+  s.bed.sim.run_until(240 * sim::kSecond);
+  EXPECT_GT(s.application->rank(0).state().iter, iter_then);
+  // No half-open intent survives the reboot.
+  ASSERT_NE(s.bed.dvc->intent_log(), nullptr);
+  EXPECT_TRUE(s.bed.dvc->intent_log()->open_intents().empty());
+}
+
+// ---------------------------------------------------------------------------
+// The head node *is* the coordinator's fault domain: when it dies the
+// control plane dies with it, and the coordinator reboots (with a new
+// epoch) once the node is repaired.
+
+TEST(CoordinatorRecoveryTest, HeadNodeDeathTakesCoordinatorDownUntilRepair) {
+  CoordStack s(/*clusters=*/1, /*nodes=*/12, /*vc=*/4, /*iters=*/3000,
+               manual_rounds_policy(), /*head=*/11);
+  const std::uint64_t before = s.bed.dvc->coordinator_epoch();
+
+  s.bed.sim.schedule_at(30 * sim::kSecond,
+                        [&] { s.bed.fabric.fail_node(11); });
+  s.bed.sim.schedule_at(80 * sim::kSecond,
+                        [&] { s.bed.fabric.repair_node(11); });
+
+  s.bed.sim.run_until(40 * sim::kSecond);
+  EXPECT_FALSE(s.bed.dvc->coordinator_up());
+  EXPECT_EQ(s.bed.dvc->coordinator_crashes(), 1u);
+
+  s.bed.sim.run_until(150 * sim::kSecond);
+  EXPECT_TRUE(s.bed.dvc->coordinator_up());
+  EXPECT_GT(s.bed.dvc->coordinator_epoch(), before);
+  EXPECT_FALSE(s.application->failed());
+}
+
+}  // namespace
+}  // namespace dvc

@@ -163,7 +163,7 @@ TEST(RecoveryTest, WatchdogRecoversFromApplicationLevelTransportFailure) {
   fault::FaultInjector injector(
       s.bed.sim,
       fault::FaultInjector::Hooks{&s.bed.fabric, &s.bed.store,
-                                  s.bed.time.get(), {}},
+                                  s.bed.time.get(), {}, {}},
       &s.bed.metrics);
   // Cut the inter-cluster link for 40 s starting at 40 s — longer than
   // the ~25 s retransmission budget, so endpoints abort and the app

@@ -177,6 +177,37 @@ TEST(ReliableChannelTest, PaperScenario2_AckLostAcrossCut) {
   EXPECT_EQ(f.a.unacked(), 0u);        // the re-ACK completed the exchange
 }
 
+TEST(ReliableChannelTest, RetransmissionMasksOneWayLossWindow) {
+  // A one-way cut (dying transceiver): data packets a -> b vanish while
+  // the reverse path stays perfect. As long as the window is shorter than
+  // the retry budget (~25.4 s), retransmission masks it completely.
+  sim::Simulation sim;
+  auto link = std::make_shared<ClusterLinkModel>(ClusterLinkModel::Config{});
+  Network net(sim, link, sim::Rng(5));
+  const HostId a_host = net.new_host();  // cluster 0 (default)
+  const HostId b_host = net.new_host();
+  link->set_cluster(b_host, 1);
+  ReliableEndpoint a(sim, net, {a_host, 1}, {b_host, 1}, {});
+  ReliableEndpoint b(sim, net, {b_host, 1}, {a_host, 1}, {});
+  std::vector<Message> got;
+  b.set_delivery_handler([&](const Message& m) { got.push_back(m); });
+
+  ClusterLinkModel::PairOverride cut;
+  cut.cut = true;
+  link->set_directed_override(0, 1, cut);
+  a.send(100, 7);
+  // Every transmission inside the window dies on the forward path; the
+  // cut lifts at 12 s, well inside the budget.
+  sim.schedule_after(12 * sim::kSecond,
+                     [&] { link->clear_directed_override(0, 1); });
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].tag, 7u);
+  EXPECT_FALSE(a.failed());
+  EXPECT_GE(a.retransmissions(), 1u);
+  EXPECT_EQ(a.unacked(), 0u);
+}
+
 TEST(ReliableChannelTest, SnapshotRestoreRoundTripsState) {
   ChannelFixture f;
   f.net.set_host_up(f.b_host, false);

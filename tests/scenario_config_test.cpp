@@ -76,6 +76,34 @@ TEST(ScenarioConfigTest, ValidateKeysRejectsUnknownKey) {
   cfg.validate_keys({"experiment", "seed", "sede"});
 }
 
+TEST(ScenarioConfigTest, CoordinatorAndPartitionFaultKeysRoundTrip) {
+  // The dvcsim vocabulary for the coordinator fault domain and the
+  // partition fault class: every key parses to its intended type and
+  // passes key validation; a typo in any of them still fails loudly.
+  const auto cfg = ScenarioConfig::parse(
+      "fault.partition_mtbf_s = 180\n"
+      "fault.partition_s = 25\n"
+      "fault.coordinator_crash_mtbf_s = 200\n"
+      "fault.coordinator_down_s = 15.5\n"
+      "coordinator.head_node = 0\n"
+      "coordinator.lease_s = 10\n");
+  cfg.validate_keys({"fault.partition_mtbf_s", "fault.partition_s",
+                     "fault.coordinator_crash_mtbf_s",
+                     "fault.coordinator_down_s", "coordinator.head_node",
+                     "coordinator.lease_s"});
+  EXPECT_DOUBLE_EQ(cfg.get_double("fault.partition_mtbf_s", 0.0), 180.0);
+  EXPECT_DOUBLE_EQ(cfg.get_double("fault.partition_s", 0.0), 25.0);
+  EXPECT_DOUBLE_EQ(cfg.get_double("fault.coordinator_crash_mtbf_s", 0.0),
+                   200.0);
+  EXPECT_DOUBLE_EQ(cfg.get_double("fault.coordinator_down_s", 0.0), 15.5);
+  EXPECT_EQ(cfg.get_int("coordinator.head_node", -1), 0);
+  EXPECT_DOUBLE_EQ(cfg.get_double("coordinator.lease_s", 0.0), 10.0);
+
+  const auto typo = ScenarioConfig::parse("coordinator.headnode = 0\n");
+  EXPECT_THROW(typo.validate_keys({"coordinator.head_node"}),
+               std::invalid_argument);
+}
+
 TEST(ScenarioConfigTest, LastDuplicateWins) {
   const auto cfg = ScenarioConfig::parse("a = 1\na = 2\n");
   EXPECT_EQ(cfg.get_int("a", 0), 2);

@@ -29,9 +29,11 @@ using test::TestBedOptions;
 #ifdef DVC_SOAK
 constexpr std::uint64_t kSeeds = 150;
 constexpr std::uint64_t kStorageSeeds = 60;
+constexpr std::uint64_t kControlSeeds = 45;
 #else
 constexpr std::uint64_t kSeeds = 50;
 constexpr std::uint64_t kStorageSeeds = 20;
+constexpr std::uint64_t kControlSeeds = 15;
 #endif
 
 struct SoakOutcome {
@@ -49,16 +51,25 @@ struct SoakOutcome {
   std::uint64_t fallbacks = 0;
   std::uint64_t abandoned = 0;
   std::uint64_t damage_planted = 0;  ///< corruptions + torn writes, all stores
+  std::uint64_t coordinator_crashes = 0;
+  std::uint64_t coordinator_reboots = 0;
+  std::uint64_t stale_completions = 0;
+  std::uint64_t orphans_swept = 0;   ///< discarded sealed + aborted open sets
+  std::uint64_t fenced_writes = 0;   ///< store + hypervisor fence rejections
 
   friend bool operator==(const SoakOutcome& a, const SoakOutcome& b) {
     return std::tie(a.completed, a.failed, a.iter0, a.recoveries, a.watchdog,
                     a.lsc_retries, a.faults_injected, a.faults_lifted,
                     a.checkpoints, a.verify_failures, a.failovers,
-                    a.fallbacks, a.abandoned, a.damage_planted) ==
+                    a.fallbacks, a.abandoned, a.damage_planted,
+                    a.coordinator_crashes, a.coordinator_reboots,
+                    a.stale_completions, a.orphans_swept, a.fenced_writes) ==
            std::tie(b.completed, b.failed, b.iter0, b.recoveries, b.watchdog,
                     b.lsc_retries, b.faults_injected, b.faults_lifted,
                     b.checkpoints, b.verify_failures, b.failovers,
-                    b.fallbacks, b.abandoned, b.damage_planted);
+                    b.fallbacks, b.abandoned, b.damage_planted,
+                    b.coordinator_crashes, b.coordinator_reboots,
+                    b.stale_completions, b.orphans_swept, b.fenced_writes);
   }
 };
 
@@ -66,7 +77,11 @@ struct SoakOutcome {
 /// the link/disk/clock processes for the durability gauntlet: silent
 /// corruption and torn writes against the checkpoint store (and one
 /// replica, so some damage is masked and some forces generation fallback).
-SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false) {
+/// `control_faults` puts the control plane itself in the blast radius:
+/// the coordinator runs on a (crashable) head node while partitions and
+/// coordinator crashes land on top of the general schedule.
+SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false,
+                     bool control_faults = false) {
   TestBedOptions o;
   o.clusters = 2;
   o.nodes_per_cluster = 5;
@@ -90,6 +105,9 @@ SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false) {
   spec.size = 6;  // spans both clusters, leaves 4 spare nodes
   spec.guest.ram_bytes = 64ull << 20;
   auto* vc = &bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(spec.size), {});
+  // A spare node hosts the coordinator, so the node-crash process can kill
+  // the control plane the hard way too (head death, reboot on repair).
+  if (control_faults) bed.dvc->designate_head_node(9);
   bed.sim.run_until(20 * sim::kSecond);
 
   app::WorkloadSpec job;
@@ -138,6 +156,15 @@ SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false) {
     stochastic.disk_slow_factor = 4.0;
     stochastic.clock_step_mtbf = 80 * sim::kSecond;
     stochastic.clock_step_max = 300 * sim::kMillisecond;
+    if (control_faults) {
+      // Partitions mostly shorter than the ~25 s transport budget (masked
+      // unless they compound with a crash) plus repeated control-plane
+      // outages, so LSC rounds die at every phase across the sweep.
+      stochastic.partition_mtbf = 110 * sim::kSecond;
+      stochastic.partition_for = 12 * sim::kSecond;
+      stochastic.coordinator_crash_mtbf = 55 * sim::kSecond;
+      stochastic.coordinator_down_for = 10 * sim::kSecond;
+    }
   }
   fault::FaultPlan sampled;
   sampled.sample(stochastic,
@@ -153,11 +180,14 @@ SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false) {
     e.at += 30 * sim::kSecond;
     plan.add(e);
   }
-  fault::FaultInjector injector(
-      bed.sim,
-      fault::FaultInjector::Hooks{&bed.fabric, &bed.store, bed.time.get(),
-                                  bed.replica_ptrs()},
-      &bed.metrics);
+  fault::FaultInjector::Hooks hooks{&bed.fabric, &bed.store, bed.time.get(),
+                                    bed.replica_ptrs(), {}};
+  if (control_faults) {
+    hooks.coordinator_crash = [&bed](sim::Duration down_for) {
+      bed.dvc->crash_coordinator(down_for);
+    };
+  }
+  fault::FaultInjector injector(bed.sim, hooks, &bed.metrics);
   injector.arm(plan);
 
   // Run in slices so a completed job doesn't drag a thousand seconds of
@@ -194,6 +224,14 @@ SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false) {
       bed.metrics.counter_value("storage.store.torn_writes") +
       bed.metrics.counter_value("storage.replica0.store.corruptions") +
       bed.metrics.counter_value("storage.replica0.store.torn_writes");
+  out.coordinator_crashes = bed.dvc->coordinator_crashes();
+  out.coordinator_reboots = bed.dvc->coordinator_reboots();
+  out.stale_completions = bed.dvc->stale_completions();
+  out.orphans_swept =
+      bed.dvc->orphan_sets_discarded() + bed.dvc->orphan_rounds_aborted();
+  out.fenced_writes =
+      bed.metrics.counter_value("storage.images.fenced_writes") +
+      bed.metrics.counter_value("vm.hypervisor.fenced_commands");
   return out;
 }
 
@@ -285,6 +323,60 @@ TEST(FaultSoakTest, StorageFaultSeedsReplayDeterministically) {
     const SoakOutcome second = run_soak(seed, /*storage_faults=*/true);
     EXPECT_TRUE(first == second)
         << "storage seed " << seed << " not deterministic";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The same sweep with the control plane in the blast radius: network
+// partitions and coordinator crashes (including head-node deaths from the
+// ordinary crash process) on top of the general schedule. The invariant is
+// the same — complete or diagnose, never hang — which is exactly the
+// property the intent WAL, epoch fencing, and reboot reconciliation exist
+// to preserve.
+
+TEST(FaultSoakTest, ControlPlaneSeedsCompleteOrDiagnose) {
+  std::uint64_t completed = 0;
+  std::uint64_t with_outages = 0;
+  for (std::uint64_t seed = 1; seed <= kControlSeeds; ++seed) {
+    const SoakOutcome out =
+        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
+    ASSERT_TRUE(out.completed || out.failed)
+        << "control seed " << seed << " hung silently: iter0=" << out.iter0
+        << " recoveries=" << out.recoveries
+        << " coordinator=" << out.coordinator_crashes << "/"
+        << out.coordinator_reboots << " stale=" << out.stale_completions
+        << " orphans=" << out.orphans_swept
+        << " fenced=" << out.fenced_writes;
+    // A crashed coordinator always came back: no schedule ends headless.
+    EXPECT_EQ(out.coordinator_crashes, out.coordinator_reboots)
+        << "control seed " << seed;
+    if (out.completed) {
+      ++completed;
+      EXPECT_EQ(out.iter0, 200u) << "control seed " << seed;
+    } else {
+      std::cout << "[soak] control seed " << seed
+                << " diagnosed: recoveries=" << out.recoveries
+                << " coordinator=" << out.coordinator_crashes << "/"
+                << out.coordinator_reboots
+                << " stale=" << out.stale_completions
+                << " orphans=" << out.orphans_swept << "\n";
+    }
+    if (out.coordinator_crashes > 0) ++with_outages;
+  }
+  // The sweep has teeth: most schedules take the coordinator down at
+  // least once, and the reboot machinery still lands the jobs.
+  EXPECT_GE(with_outages, kControlSeeds / 2);
+  EXPECT_GE(completed, kControlSeeds * 7 / 10);
+}
+
+TEST(FaultSoakTest, ControlPlaneSeedsReplayDeterministically) {
+  for (std::uint64_t seed : {3ull, 11ull, 26ull}) {
+    const SoakOutcome first =
+        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
+    const SoakOutcome second =
+        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
+    EXPECT_TRUE(first == second)
+        << "control seed " << seed << " not deterministic";
   }
 }
 

@@ -53,6 +53,17 @@
 //   fault.clock_step_ms     max |step| in milliseconds (default 500)
 //   fault.store_corrupt_mtbf_s mean gap between silent image corruptions
 //   fault.store_tear_mtbf_s    mean gap between torn-write store deaths
+//   fault.partition_mtbf_s  mean gap between network partitions (needs >= 2
+//                           clusters; one cluster is cut off from the rest)
+//   fault.partition_s       duration of each partition (default 30)
+//   fault.coordinator_crash_mtbf_s mean gap between control-plane crashes
+//   fault.coordinator_down_s       coordinator reboot time (default 20)
+//
+// Coordinator fault-domain keys (see docs/ARCHITECTURE.md):
+//
+//   coordinator.head_node   node hosting the DVC control plane (-1 = the
+//                           control plane is not a fault domain, default)
+//   coordinator.lease_s     epoch lease on the head node's clock (default 10)
 //
 // Recovery-tuning keys:
 //
@@ -130,6 +141,14 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
                              std::to_string(vc_size));
   }
   sc->vc = &sc->room.dvc->create_vc(spec, *placement, {});
+  // Opt-in coordinator fault domain: the control plane runs on a head
+  // node, journals intents, and fences its commands with an epoch.
+  const std::int64_t head = cfg.get_int("coordinator.head_node", -1);
+  if (head >= 0) {
+    sc->room.dvc->designate_head_node(
+        static_cast<hw::NodeId>(head),
+        sim::from_seconds(cfg.get_double("coordinator.lease_s", 10.0)));
+  }
   sc->room.sim.run_until(20 * sim::kSecond);
 
   const std::string kind = cfg.get_string("workload", "ptrans");
@@ -160,6 +179,14 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
       sim::from_seconds(cfg.get_double("lsc.retry_backoff_s", 2.0));
   sc->lsc->set_retry_policy(retry);
   return sc;
+}
+
+/// The injector's control-plane kill switch: a `coordcrash` event takes
+/// the DVC coordinator down for its payload duration.
+std::function<void(sim::Duration)> coordinator_crash_hook(Scenario& sc) {
+  return [&sc](sim::Duration down_for) {
+    sc.room.dvc->crash_coordinator(down_for);
+  };
 }
 
 /// Builds the fault plan out of `fault.*` keys and arms it (no-op unless
@@ -195,6 +222,14 @@ void arm_faults(Scenario& sc) {
       sc.cfg.get_double("fault.store_corrupt_mtbf_s", 0.0));
   spec.store_tear_mtbf = sim::from_seconds(
       sc.cfg.get_double("fault.store_tear_mtbf_s", 0.0));
+  spec.partition_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.partition_mtbf_s", 0.0));
+  spec.partition_for =
+      sim::from_seconds(sc.cfg.get_double("fault.partition_s", 30.0));
+  spec.coordinator_crash_mtbf = sim::from_seconds(
+      sc.cfg.get_double("fault.coordinator_crash_mtbf_s", 0.0));
+  spec.coordinator_down_for = sim::from_seconds(
+      sc.cfg.get_double("fault.coordinator_down_s", 20.0));
   if (spec.horizon > 0) {
     const auto fault_seed = static_cast<std::uint64_t>(sc.cfg.get_int(
         "fault.seed", static_cast<std::int64_t>(sc.seed)));
@@ -209,7 +244,8 @@ void arm_faults(Scenario& sc) {
       sc.room.sim,
       fault::FaultInjector::Hooks{&sc.room.fabric, &sc.room.store,
                                   sc.room.time.get(),
-                                  sc.room.replica_ptrs()},
+                                  sc.room.replica_ptrs(),
+                                  coordinator_crash_hook(sc)},
       &sc.room.metrics);
   sc.injector->arm(plan);
   std::printf("fault injector:  %zu events armed\n", plan.size());
@@ -296,6 +332,22 @@ void print_summary(Scenario& sc) {
                     sc.room.dvc->restore_fallbacks()),
                 static_cast<unsigned long long>(
                     sc.room.dvc->recoveries_abandoned()));
+  }
+  if (sc.room.dvc->coordinator_crashes() > 0) {
+    std::printf("coordinator:     %llu crashes, %llu reboots, %llu fenced"
+                " writes, %llu orphan sets swept\n",
+                static_cast<unsigned long long>(
+                    sc.room.dvc->coordinator_crashes()),
+                static_cast<unsigned long long>(
+                    sc.room.dvc->coordinator_reboots()),
+                static_cast<unsigned long long>(
+                    sc.room.metrics.counter_value(
+                        "storage.images.fenced_writes") +
+                    sc.room.metrics.counter_value(
+                        "vm.hypervisor.fenced_commands")),
+                static_cast<unsigned long long>(
+                    sc.room.dvc->orphan_sets_discarded() +
+                    sc.room.dvc->orphan_rounds_aborted()));
   }
 }
 
@@ -478,7 +530,10 @@ int main(int argc, char** argv) {
         "fault.disk_slow_mtbf_s", "fault.disk_slow_s",
         "fault.disk_slow_factor", "fault.clock_step_mtbf_s",
         "fault.clock_step_ms", "fault.store_corrupt_mtbf_s",
-        "fault.store_tear_mtbf_s", "lsc.round_timeout_s",
+        "fault.store_tear_mtbf_s", "fault.partition_mtbf_s",
+        "fault.partition_s", "fault.coordinator_crash_mtbf_s",
+        "fault.coordinator_down_s", "coordinator.head_node",
+        "coordinator.lease_s", "lsc.round_timeout_s",
         "lsc.max_round_retries", "lsc.retry_backoff_s",
         "watchdog_interval_s", "abort_saves_on_failure",
     });
