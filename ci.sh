@@ -7,9 +7,12 @@
 #                       build tree, slower; catches lifetime/UB bugs the
 #                       plain build cannot)
 #   ./ci.sh --soak      the sanitizer build with -DDVC_SOAK=ON, running
-#                       only the widened seeded fault-soak sweep — the
-#                       randomized failure schedules where lifetime bugs
-#                       in the recovery paths actually surface
+#                       only the soak-labelled suites (`ctest -L soak`) —
+#                       the randomized failure schedules where lifetime
+#                       bugs in the recovery paths actually surface
+#   ./ci.sh --coverage  instrumented (gcc --coverage) build, runs the
+#                       tier-1 suite and writes a per-subsystem
+#                       line-coverage artifact (build-cov/coverage.json)
 #   ./ci.sh --tidy      clang-tidy (config in .clang-tidy: bugprone-*,
 #                       concurrency-*, and a readability subset) over every
 #                       translation unit in src/, against a fresh
@@ -45,7 +48,17 @@ case "${1:-}" in
       -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
       -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
     cmake --build build-soak -j "$JOBS"
-    ctest --test-dir build-soak --output-on-failure -R 'FaultSoakTest'
+    ctest --test-dir build-soak --output-on-failure -L soak
+    ;;
+  --coverage)
+    COV_FLAGS="--coverage -O0 -g"
+    cmake -B build-cov -S . \
+      -DCMAKE_BUILD_TYPE=Debug \
+      -DCMAKE_CXX_FLAGS="$COV_FLAGS" \
+      -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+    cmake --build build-cov -j "$JOBS"
+    ctest --test-dir build-cov --output-on-failure -L tier1 -j "$JOBS"
+    python3 tools/coverage_report.py build-cov build-cov/coverage.json
     ;;
   --tidy)
     TIDY=""
@@ -71,7 +84,7 @@ case "${1:-}" in
     build_and_test build -DDVC_WERROR=ON
     ;;
   *)
-    echo "usage: $0 [--sanitize|--soak|--tidy]" >&2
+    echo "usage: $0 [--sanitize|--soak|--coverage|--tidy]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,313 @@
+#include "check/invariants.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace dvc::check {
+
+Invariants::Invariants(Wiring w)
+    : w_(w),
+      epoch_seen_(w.fence != nullptr ? w.fence->current()
+                                     : storage::kUnfencedEpoch) {}
+
+void Invariants::attach() {
+  if (w_.dvc != nullptr) w_.dvc->set_check(this);
+  if (w_.images != nullptr) w_.images->set_check(this);
+  if (w_.fence != nullptr) w_.fence->set_check(this);
+}
+
+void Invariants::detach() {
+  if (w_.dvc != nullptr) w_.dvc->set_check(nullptr);
+  if (w_.images != nullptr) w_.images->set_check(nullptr);
+  if (w_.fence != nullptr) w_.fence->set_check(nullptr);
+}
+
+void Invariants::violate(std::string invariant, std::string detail,
+                         Boundary b) {
+  telemetry::count(w_.metrics, "check.violations");
+  telemetry::count(w_.metrics, "check.violation." + invariant);
+  violations_.push_back(
+      Violation{std::move(invariant), std::move(detail), b,
+                w_.sim != nullptr ? w_.sim->now() : 0});
+}
+
+// ---- hook entry points ------------------------------------------------------
+
+void Invariants::on_vc_boundary(Boundary boundary, std::uint64_t vc) {
+  if (boundary == Boundary::kRoundSeal && w_.dvc != nullptr) {
+    // Watermark the freshly sealed recovery point: set ids allocate
+    // monotonically, so a seal below the previous one means the control
+    // plane adopted a stale set as its newest recovery point.
+    for (const core::VirtualCluster* v : w_.dvc->live_vcs()) {
+      if (v->id() != vc) continue;
+      const storage::CheckpointSetId set = v->last_checkpoint().set;
+      auto [it, fresh] = seal_watermark_.emplace(vc, set);
+      if (!fresh) {
+        if (set <= it->second) {
+          violate("generation-monotonicity",
+                  "vc#" + std::to_string(vc) + " sealed set#" +
+                      std::to_string(set) + " at or below watermark set#" +
+                      std::to_string(it->second),
+                  boundary);
+        }
+        it->second = set;
+      }
+      if (v->generations().empty() ||
+          v->generations().back().checkpoint.set != set) {
+        violate("generation-monotonicity",
+                "vc#" + std::to_string(vc) +
+                    " newest generation disagrees with last_checkpoint "
+                    "(set#" + std::to_string(set) + ")",
+                boundary);
+      }
+    }
+  }
+  sweep(boundary);
+}
+
+void Invariants::on_admitted_mutation(std::string_view op,
+                                      std::uint64_t epoch) {
+  // Independently re-verify the fence discipline: an *admitted* mutation
+  // stamped with anything but the unfenced epoch or the epoch the checker
+  // itself has watched the fence reach is a deposed-incarnation write that
+  // slipped the fence (or a forged future epoch).
+  if (epoch == storage::kUnfencedEpoch) return;
+  const std::uint64_t current =
+      w_.fence != nullptr ? w_.fence->current() : epoch_seen_;
+  if (epoch != current || (w_.fence != nullptr && current != epoch_seen_)) {
+    violate("epoch-fence",
+            "admitted " + std::string(op) + " stamped epoch " +
+                std::to_string(epoch) + " (fence at " +
+                std::to_string(current) + ", checker saw " +
+                std::to_string(epoch_seen_) + ")",
+            Boundary::kRoundSeal);
+  }
+}
+
+void Invariants::on_epoch_advance(std::uint64_t new_epoch) {
+  if (new_epoch <= epoch_seen_) {
+    violate("epoch-fence",
+            "fence advanced to epoch " + std::to_string(new_epoch) +
+                " which is not above " + std::to_string(epoch_seen_),
+            Boundary::kRecovery);
+  }
+  epoch_seen_ = new_epoch;
+}
+
+void Invariants::on_round_complete(bool ok, std::uint64_t set) {
+  // A round that reports success must name a set that exists and sealed;
+  // the coordinator otherwise promoted a phantom recovery point.
+  if (!ok || w_.images == nullptr) return;
+  const storage::CheckpointSet* s = w_.images->find_set(set);
+  if (s == nullptr || !s->sealed || s->aborted) {
+    violate("image-completeness",
+            "LSC round reported ok with set#" + std::to_string(set) +
+                (s == nullptr ? " missing from the store"
+                              : (s->aborted ? " aborted" : " unsealed")),
+            Boundary::kRoundSeal);
+  }
+}
+
+// ---- sweeps -----------------------------------------------------------------
+
+void Invariants::sweep(Boundary b) {
+  if (w_.dvc == nullptr) return;
+  for (const core::VirtualCluster* vc : w_.dvc->live_vcs()) {
+    check_generations(*vc, b);
+    check_image_sets(*vc, b);
+  }
+  check_refcounts(b);
+  check_membership(b);
+}
+
+void Invariants::check_generations(const core::VirtualCluster& vc,
+                                   Boundary b) {
+  const auto& gens = vc.generations();
+  storage::CheckpointSetId prev_set = 0;
+  sim::Time prev_taken = 0;
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    const core::VcGeneration& g = gens[i];
+    const std::string who =
+        "vc#" + std::to_string(vc.id()) + " generation[" +
+        std::to_string(i) + "]";
+    if (g.chain.empty()) {
+      violate("generation-monotonicity", who + " has an empty chain", b);
+      continue;
+    }
+    if (g.chain.back() != g.checkpoint.set) {
+      violate("generation-monotonicity",
+              who + " chain tail set#" + std::to_string(g.chain.back()) +
+                  " != recovery point set#" +
+                  std::to_string(g.checkpoint.set),
+              b);
+    }
+    if (g.checkpoint.set <= prev_set) {
+      violate("generation-monotonicity",
+              who + " set#" + std::to_string(g.checkpoint.set) +
+                  " does not advance past set#" + std::to_string(prev_set),
+              b);
+    }
+    if (g.checkpoint.taken_at < prev_taken) {
+      violate("generation-monotonicity",
+              who + " taken_at moves backwards", b);
+    }
+    prev_set = g.checkpoint.set;
+    prev_taken = g.checkpoint.taken_at;
+  }
+}
+
+void Invariants::check_refcounts(Boundary b) {
+  // Re-derive the expected reference count of every retained set from the
+  // live VCs' generation chains and compare with the manager's table; any
+  // divergence is a leak (sets never reclaimed) or a premature retire
+  // (recovery points yanked from under a VC).
+  std::map<storage::CheckpointSetId, int> expected;
+  for (const core::VirtualCluster* vc : w_.dvc->live_vcs()) {
+    for (const core::VcGeneration& g : vc->generations()) {
+      for (const storage::CheckpointSetId s : g.chain) ++expected[s];
+    }
+  }
+  const auto& actual = w_.dvc->set_refs();
+  for (const auto& [s, n] : expected) {
+    const auto it = actual.find(s);
+    if (it == actual.end() || it->second != n) {
+      violate("refcount-consistency",
+              "set#" + std::to_string(s) + " referenced by " +
+                  std::to_string(n) + " retained chains but refcounted " +
+                  std::to_string(it == actual.end() ? 0 : it->second),
+              b);
+    }
+  }
+  for (const auto& [s, n] : actual) {
+    if (!expected.contains(s)) {
+      violate("refcount-consistency",
+              "set#" + std::to_string(s) + " refcounted " +
+                  std::to_string(n) + " with no retaining chain (leak)",
+              b);
+    }
+    if (w_.images != nullptr) {
+      const storage::CheckpointSet* cs = w_.images->find_set(s);
+      if (cs == nullptr || !cs->sealed || cs->aborted) {
+        violate("retention-liveness",
+                "refcounted set#" + std::to_string(s) +
+                    (cs == nullptr
+                         ? " is gone from the store"
+                         : (cs->aborted ? " was aborted" : " never sealed")),
+                b);
+      }
+    }
+  }
+}
+
+void Invariants::check_image_sets(const core::VirtualCluster& vc,
+                                  Boundary b) {
+  if (w_.images == nullptr) return;
+  // Every restorable generation must be stageable end to end: each set in
+  // its chain present, sealed, unaborted, and fully populated. A *damaged*
+  // set is a legal fault effect (recovery falls back past it); a sealed
+  // set missing members is corruption of the seal protocol itself.
+  for (const core::VcGeneration& g : vc.generations()) {
+    for (const storage::CheckpointSetId s : g.chain) {
+      const storage::CheckpointSet* cs = w_.images->find_set(s);
+      const std::string who = "vc#" + std::to_string(vc.id()) +
+                              " chain set#" + std::to_string(s);
+      if (cs == nullptr) {
+        violate("image-completeness", who + " missing from the store", b);
+        continue;
+      }
+      if (!cs->sealed || cs->aborted) {
+        violate("image-completeness",
+                who + (cs->aborted ? " aborted" : " unsealed") +
+                    " inside a retained chain",
+                b);
+        continue;
+      }
+      if (cs->members.size() != cs->expected_members) {
+        violate("image-completeness",
+                who + " sealed with " + std::to_string(cs->members.size()) +
+                    "/" + std::to_string(cs->expected_members) + " members",
+                b);
+      }
+    }
+  }
+}
+
+void Invariants::check_membership(Boundary b) {
+  const auto& claims = w_.dvc->claims();
+  std::set<core::VcId> live;
+  for (const core::VirtualCluster* vc : w_.dvc->live_vcs()) {
+    live.insert(vc->id());
+    if (vc->state() != core::VcState::kRunning) continue;
+    // A running VC must have a complete, duplicate-free placement whose
+    // every node the manager's claim table attributes to it.
+    std::set<hw::NodeId> seen;
+    for (std::uint32_t i = 0; i < vc->size(); ++i) {
+      const hw::NodeId n = vc->placement(i);
+      const std::string who = "vc#" + std::to_string(vc->id()) +
+                              " member " + std::to_string(i);
+      if (n == hw::kInvalidNode) {
+        violate("member-conservation", who + " has no host node", b);
+        continue;
+      }
+      if (!seen.insert(n).second) {
+        violate("member-conservation",
+                who + " shares node " + std::to_string(n) +
+                    " with another member",
+                b);
+      }
+      const auto it = claims.find(n);
+      if (it == claims.end() || it->second != vc->id()) {
+        violate("member-conservation",
+                who + " runs on node " + std::to_string(n) +
+                    " which the claim table gives to " +
+                    (it == claims.end()
+                         ? std::string("nobody")
+                         : "vc#" + std::to_string(it->second)),
+                b);
+      }
+    }
+  }
+  for (const auto& [node, id] : claims) {
+    if (!live.contains(id)) {
+      violate("member-conservation",
+              "node " + std::to_string(node) + " claimed by dead vc#" +
+                  std::to_string(id),
+              b);
+    }
+  }
+}
+
+// ---- harness entry points ---------------------------------------------------
+
+void Invariants::end_of_run(bool expect_quiesced) {
+  sweep(Boundary::kEndOfRun);
+  if (expect_quiesced && w_.sim != nullptr &&
+      w_.sim->pending_foreground() != 0) {
+    violate("queue-hygiene",
+            std::to_string(w_.sim->pending_foreground()) +
+                " foreground event(s) leaked past job completion",
+            Boundary::kEndOfRun);
+  }
+}
+
+bool Invariants::verify_ledger(const ckpt::MessageLedger& ledger,
+                               bool allow_in_flight) {
+  const ckpt::MessageLedger::Verdict v = ledger.check(allow_in_flight);
+  if (!v.consistent) {
+    violate("ledger-consistency", v.reason, Boundary::kEndOfRun);
+  }
+  return v.consistent;
+}
+
+std::string Invariants::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += "[" + std::string(to_string(v.boundary)) + " t=" +
+           std::to_string(v.at) + "] " + v.invariant + ": " + v.detail +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace dvc::check

@@ -192,6 +192,9 @@ void LscCoordinator::run_round(std::string label,
             LscResult abandoned;
             abandoned.aborted_cleanly = true;
             abandoned.retries = round_no;
+            if (check_ != nullptr) {
+              check_->on_round_complete(false, abandoned.set);
+            }
             if (done) done(std::move(abandoned));
             return;
           }
@@ -203,6 +206,7 @@ void LscCoordinator::run_round(std::string label,
       });
       return;
     }
+    if (check_ != nullptr) check_->on_round_complete(r.ok, r.set);
     if (done) done(std::move(r));
   };
   if (retry_.round_timeout > 0) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "clocksync/host_clock.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
@@ -123,6 +124,11 @@ class LscCoordinator {
     return retry_;
   }
 
+  /// Attaches an optional invariant checker (null to detach), notified
+  /// once per checkpoint() call when the round's final outcome is settled
+  /// (after the retry policy ran its course).
+  void set_check(check::Checker* c) noexcept { check_ = c; }
+
  protected:
   explicit LscCoordinator(sim::Simulation& sim) noexcept : sim_(&sim) {}
 
@@ -135,6 +141,7 @@ class LscCoordinator {
                            bool resume_after_save) = 0;
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  check::Checker* check_ = nullptr;
   sim::Simulation* sim_;
 
  private:

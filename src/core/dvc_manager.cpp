@@ -109,7 +109,19 @@ void DvcManager::destroy_vc(VirtualCluster& vc) {
   }
   unclaim(vc);
   vc.state_ = VcState::kDestroyed;
+  // Retire the VC's retained generations: shared sets are reclaimed the
+  // moment their last reference drops, and the refcount table never
+  // accumulates entries owned by dead VCs.
+  for (const auto& g : vc.generations_) release_generation(g);
+  vc.generations_.clear();
   vcs_.erase(vc.id());  // destroys the VirtualCluster and its VMs
+}
+
+std::vector<const VirtualCluster*> DvcManager::live_vcs() const {
+  std::vector<const VirtualCluster*> out;
+  out.reserve(vcs_.size());
+  for (const auto& [id, rt] : vcs_) out.push_back(rt.vc.get());
+  return out;
 }
 
 void DvcManager::attach_app(VirtualCluster& vc,
@@ -246,6 +258,9 @@ void DvcManager::checkpoint_vc(VirtualCluster& vc,
             vc.checkpoint_chain_ = {r.set};
           }
           push_generation(vc);
+          if (check_ != nullptr) {
+            check_->on_vc_boundary(check::Boundary::kRoundSeal, vc.id());
+          }
         }
         if (cb) cb(std::move(r));
       },
@@ -319,6 +334,10 @@ void DvcManager::restore_vc(VirtualCluster& vc,
                                   metrics_, "core.dvc.restore_s",
                                   sim::to_seconds(sim_->now() -
                                                   restore_begin));
+                              if (check_ != nullptr) {
+                                check_->on_vc_boundary(
+                                    check::Boundary::kRestore, vc.id());
+                              }
                               if (cb) cb(*all_ok);
                             }
                           },
@@ -817,6 +836,9 @@ void DvcManager::recover(VcRuntime& rt) {
       telemetry::instant(metrics_, sim_->now(), "dvc", "recovered");
       sim::trace(trace_, sim_->now(), sim::TraceLevel::kInfo, "dvc",
                  "vc#" + std::to_string(id) + " recovered");
+      if (check_ != nullptr) {
+        check_->on_vc_boundary(check::Boundary::kRecovery, id);
+      }
       return;
     }
     if (chain_damaged(*rt.vc)) {
@@ -951,6 +973,9 @@ void DvcManager::abandon_recovery(VcRuntime& rt, const std::string& why) {
   // End the run *diagnosed*: downstream supervisors (dvcsim, the soak
   // harness, the RM) key off the application's failure flag.
   if (rt.app != nullptr) rt.app->mark_failed("recovery abandoned: " + why);
+  if (check_ != nullptr) {
+    check_->on_vc_boundary(check::Boundary::kRecovery, vc.id());
+  }
 }
 
 void DvcManager::recover_now(VirtualCluster& vc) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "app/workload.hpp"
+#include "check/hooks.hpp"
 #include "ckpt/lsc.hpp"
 #include "clocksync/ntp.hpp"
 #include "core/intent_log.hpp"
@@ -272,6 +273,23 @@ class DvcManager final {
   /// track.
   void set_metrics(telemetry::MetricsRegistry* m) noexcept { metrics_ = m; }
 
+  /// Attaches an optional invariant checker (null to detach), notified at
+  /// control-plane boundaries: round seal (a new recovery point), restore
+  /// completion, and recovery resolution (success or abandonment).
+  void set_check(check::Checker* c) noexcept { check_ = c; }
+
+  /// Reference counts of every retained checkpoint set. Exposed so the
+  /// invariant checker can re-derive the expected counts from the live
+  /// VCs' generation chains and compare.
+  [[nodiscard]] const std::map<storage::CheckpointSetId, int>& set_refs()
+      const noexcept {
+    return set_refs_;
+  }
+
+  /// Every VC the manager still tracks, id-ordered (destroyed VCs are
+  /// erased and do not appear).
+  [[nodiscard]] std::vector<const VirtualCluster*> live_vcs() const;
+
  private:
   struct VcRuntime {
     std::unique_ptr<VirtualCluster> vc;
@@ -358,6 +376,7 @@ class DvcManager final {
   std::uint64_t orphan_rounds_aborted_ = 0;
   sim::TraceLog* trace_ = nullptr;
   telemetry::MetricsRegistry* metrics_ = nullptr;
+  check::Checker* check_ = nullptr;
 };
 
 }  // namespace dvc::core

@@ -8,11 +8,8 @@ EventId Simulation::schedule_impl(Time at, std::function<void()> fn,
                                   bool daemon) {
   const EventId id = next_id_++;
   queue_.push(Entry{at < now_ ? now_ : at, id, daemon, std::move(fn)});
-  if (daemon) {
-    daemon_ids_.insert(id);
-  } else {
-    ++foreground_pending_;
-  }
+  live_.emplace(id, daemon);
+  if (!daemon) ++foreground_pending_;
   return id;
 }
 
@@ -25,13 +22,13 @@ EventId Simulation::schedule_daemon_at(Time at, std::function<void()> fn) {
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) return false;
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;  // never scheduled, fired, or stale
+  if (!it->second) --foreground_pending_;
+  live_.erase(it);
   // Lazy deletion: the entry stays queued but is skipped when popped.
-  const bool fresh = cancelled_.insert(id).second;
-  if (fresh) {
-    if (daemon_ids_.erase(id) == 0) --foreground_pending_;
-  }
-  return fresh;
+  cancelled_.insert(id);
+  return true;
 }
 
 bool Simulation::pop_one(Entry& out) {
@@ -49,11 +46,8 @@ bool Simulation::pop_one(Entry& out) {
     out.id = top.id;
     out.daemon = top.daemon;
     out.fn = std::move(top.fn);
-    if (top.daemon) {
-      daemon_ids_.erase(top.id);
-    } else {
-      --foreground_pending_;
-    }
+    live_.erase(top.id);
+    if (!top.daemon) --foreground_pending_;
     queue_.pop();
     return true;
   }
@@ -84,11 +78,8 @@ std::uint64_t Simulation::run_until(Time until) {
     if (e.at > until) {
       // pop_one skipped cancelled entries and surfaced a later one; put the
       // real event back and stop. (Cheaper than peek-with-skip.)
-      if (e.daemon) {
-        daemon_ids_.insert(e.id);
-      } else {
-        ++foreground_pending_;
-      }
+      live_.emplace(e.id, e.daemon);
+      if (!e.daemon) ++foreground_pending_;
       queue_.push(std::move(e));
       break;
     }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -50,9 +51,10 @@ class Simulation final {
                               std::move(fn));
   }
 
-  /// Cancels a pending event. Returns true if it had not yet fired.
-  /// Precondition: `id` must not have fired already (every component in
-  /// this codebase clears its stored EventId when the event runs).
+  /// Cancels a pending event. Returns true if it had not yet fired;
+  /// cancelling an id that already fired (or was already cancelled) is a
+  /// harmless no-op returning false — it cannot skew pending() or the
+  /// foreground count.
   bool cancel(EventId id);
 
   /// Runs a single event. Returns false if the queue is empty.
@@ -70,7 +72,7 @@ class Simulation final {
 
   /// Number of events currently pending (daemons included).
   [[nodiscard]] std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_.size();
+    return live_.size();
   }
 
   /// Number of pending non-daemon events (what keeps run() alive).
@@ -102,8 +104,12 @@ class Simulation final {
   std::uint64_t executed_ = 0;
   std::size_t foreground_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Lazy-deletion tombstones for queued-but-cancelled entries.
   std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> daemon_ids_;
+  // Every not-yet-fired, not-cancelled event, with its daemon-ness. The
+  // authoritative liveness record: cancel() consults it so that an id whose
+  // entry already fired is rejected instead of poisoning the counters.
+  std::unordered_map<EventId, bool> live_;
 };
 
 }  // namespace dvc::sim

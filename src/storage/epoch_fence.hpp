@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "check/hooks.hpp"
+
 namespace dvc::storage {
 
 /// Epoch carried by storage/hypervisor commands issued outside any
@@ -24,15 +26,24 @@ class EpochFence final {
   [[nodiscard]] std::uint64_t current() const noexcept { return epoch_; }
 
   /// Deposes the current epoch; returns the new one.
-  std::uint64_t advance() noexcept { return ++epoch_; }
+  std::uint64_t advance() noexcept {
+    ++epoch_;
+    if (check_ != nullptr) check_->on_epoch_advance(epoch_);
+    return epoch_;
+  }
 
   /// Whether a command stamped with `epoch` may execute.
   [[nodiscard]] bool admits(std::uint64_t epoch) const noexcept {
     return epoch == kUnfencedEpoch || epoch == epoch_;
   }
 
+  /// Attaches an optional invariant checker notified on every advance
+  /// (null to detach).
+  void set_check(check::Checker* c) noexcept { check_ = c; }
+
  private:
   std::uint64_t epoch_ = 1;
+  check::Checker* check_ = nullptr;
 };
 
 }  // namespace dvc::storage

@@ -31,6 +31,7 @@ CheckpointSetId ImageManager::open_set(std::string label,
                                        std::size_t members,
                                        std::uint64_t epoch) {
   if (fenced(epoch)) return kInvalidCheckpointSet;
+  admitted("open_set", epoch);
   const CheckpointSetId id = next_set_++;
   CheckpointSet s;
   s.id = id;
@@ -46,6 +47,7 @@ void ImageManager::add_member(CheckpointSetId set, std::uint64_t member,
                               std::function<void()> on_member_done,
                               std::uint64_t epoch) {
   if (fenced(epoch)) return;
+  admitted("add_member", epoch);
   auto it = sets_.find(set);
   if (it == sets_.end() || it->second.aborted) return;
   const std::uint64_t checksum = synthetic_checksum(set, member, bytes);
@@ -111,6 +113,7 @@ void ImageManager::drop_member_objects(const MemberImage& m) {
 
 void ImageManager::abort_set(CheckpointSetId set, std::uint64_t epoch) {
   if (fenced(epoch)) return;
+  admitted("abort_set", epoch);
   auto it = sets_.find(set);
   if (it == sets_.end() || it->second.sealed) return;
   it->second.aborted = true;
@@ -123,6 +126,7 @@ void ImageManager::abort_set(CheckpointSetId set, std::uint64_t epoch) {
 std::uint64_t ImageManager::discard_set(CheckpointSetId set,
                                         std::uint64_t epoch) {
   if (fenced(epoch)) return 0;
+  admitted("discard_set", epoch);
   auto it = sets_.find(set);
   if (it == sets_.end()) return 0;
   std::uint64_t reclaimed = 0;
@@ -267,6 +271,7 @@ void ImageManager::stage_set(CheckpointSetId set,
 std::uint64_t ImageManager::prune(const std::string& label, std::size_t keep,
                                   std::uint64_t epoch) {
   if (fenced(epoch)) return 0;
+  admitted("prune", epoch);
   std::vector<CheckpointSetId> sealed;
   for (const auto& [id, s] : sets_) {
     if (s.sealed && s.label == label) sealed.push_back(id);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "storage/epoch_fence.hpp"
 #include "storage/shared_store.hpp"
 
@@ -148,6 +149,12 @@ class ImageManager final {
   /// `storage.images.fenced_writes`.
   void set_fence(const EpochFence* fence) noexcept { fence_ = fence; }
 
+  /// Attaches an optional invariant checker (null to detach), notified of
+  /// every *admitted* state-changing command with its issuing epoch — the
+  /// checker independently re-verifies the fence discipline, so a detached
+  /// or bypassed fence surfaces as a violation instead of a silent write.
+  void set_check(check::Checker* c) noexcept { check_ = c; }
+
   [[nodiscard]] SharedStore& store() noexcept { return *store_; }
   [[nodiscard]] SharedStore& replica(std::size_t i) noexcept {
     return *replicas_.at(i);
@@ -168,6 +175,10 @@ class ImageManager final {
     return true;
   }
 
+  void admitted(std::string_view op, std::uint64_t epoch) {
+    if (check_ != nullptr) check_->on_admitted_mutation(op, epoch);
+  }
+
   void maybe_seal(CheckpointSet& s);
   void replicate_member(CheckpointSetId set, std::uint64_t member,
                         std::uint64_t bytes);
@@ -178,6 +189,7 @@ class ImageManager final {
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
   const EpochFence* fence_ = nullptr;
+  check::Checker* check_ = nullptr;
   SharedStore* store_;
   std::vector<SharedStore*> replicas_;
   std::unordered_map<std::string, ObjectId> base_images_;

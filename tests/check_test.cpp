@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "app/workload.hpp"
+#include "check/invariants.hpp"
+#include "ckpt/ledger.hpp"
+#include "ckpt/lsc.hpp"
+#include "testbed.hpp"
+
+// The invariant checker's own suite: every invariant family must
+// demonstrably fire on a deliberately broken run, and a fault-free run
+// through the full checkpoint/restore lifecycle must stay clean. The
+// deliberate breakages bypass the public API on purpose — the checker
+// exists to catch exactly the states the API is supposed to make
+// unreachable.
+
+namespace dvc {
+namespace {
+
+using test::TestBed;
+using test::TestBedOptions;
+
+/// Builds a room + VC with the checker attached, runs clock sync, and
+/// returns everything a test needs to drive checkpoints.
+struct Rig {
+  TestBed bed;
+  ckpt::NtpLscCoordinator lsc;
+  check::Invariants inv;
+  core::VirtualCluster* vc;
+
+  explicit Rig(std::uint64_t seed = 7, std::uint32_t vc_size = 4)
+      : bed(make_options(seed)),
+        lsc(bed.sim, {}, sim::Rng(seed ^ 0xD5C)),
+        inv(check::Invariants::Wiring{&bed.sim, bed.dvc.get(), &bed.images,
+                                      &bed.fence, &bed.metrics}),
+        vc(nullptr) {
+    lsc.set_metrics(&bed.metrics);
+    inv.attach();
+    lsc.set_check(&inv);
+    core::VcSpec spec;
+    spec.name = "check-vc";
+    spec.size = vc_size;
+    spec.guest.ram_bytes = 64ull << 20;
+    vc = &bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(vc_size), {});
+    bed.sim.run_until(20 * sim::kSecond);
+  }
+
+  ~Rig() { inv.detach(); }
+
+  static TestBedOptions make_options(std::uint64_t seed) {
+    TestBedOptions o;
+    o.clusters = 1;
+    o.nodes_per_cluster = 8;
+    o.seed = seed;
+    return o;
+  }
+
+  /// One coordinated checkpoint, driven to completion.
+  void checkpoint() {
+    std::optional<ckpt::LscResult> result;
+    bed.dvc->checkpoint_vc(*vc, lsc, [&](ckpt::LscResult r) { result = r; });
+    while (!result.has_value()) {
+      bed.sim.run_until(bed.sim.now() + sim::kSecond);
+    }
+    ASSERT_TRUE(result->ok);
+  }
+
+  [[nodiscard]] bool saw(const std::string& invariant) const {
+    for (const check::Violation& v : inv.violations()) {
+      if (v.invariant == invariant) return true;
+    }
+    return false;
+  }
+};
+
+// ---- each invariant fires on a deliberate breakage --------------------------
+
+TEST(InvariantCheckerTest, RetiringAReferencedGenerationFires) {
+  Rig rig;
+  rig.checkpoint();
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // Hand-retire the recovery point out from under the live VC, bypassing
+  // the manager's refcounting entirely.
+  const storage::CheckpointSetId set = rig.vc->last_checkpoint().set;
+  ASSERT_GT(rig.bed.images.discard_set(set), 0u);
+
+  rig.inv.end_of_run(/*expect_quiesced=*/false);
+  EXPECT_FALSE(rig.inv.ok());
+  EXPECT_TRUE(rig.saw("retention-liveness")) << rig.inv.report();
+  EXPECT_TRUE(rig.saw("image-completeness")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, ForgedDeposedEpochWriteFires) {
+  Rig rig;
+  const std::uint64_t deposed = rig.bed.fence.current();
+  rig.bed.fence.advance();
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // Forge what a buggy fence would do: report a mutation stamped with the
+  // deposed epoch as admitted.
+  rig.inv.on_admitted_mutation("open_set", deposed);
+  EXPECT_TRUE(rig.saw("epoch-fence")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, NonMonotonicEpochAdvanceFires) {
+  Rig rig;
+  const std::uint64_t epoch = rig.bed.fence.advance();
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // A fence that re-issues the same epoch has lost monotonicity.
+  rig.inv.on_epoch_advance(epoch);
+  EXPECT_TRUE(rig.saw("epoch-fence")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, ResurrectedRecoveryPointFires) {
+  Rig rig;
+  rig.checkpoint();
+  rig.checkpoint();
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // Replay the seal boundary without a newer checkpoint: the watermark
+  // says this recovery point was already sealed, so the control plane
+  // just resurrected a stale one.
+  rig.inv.on_vc_boundary(check::Boundary::kRoundSeal, rig.vc->id());
+  EXPECT_TRUE(rig.saw("generation-monotonicity")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, PhantomRoundCompletionFires) {
+  Rig rig;
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // An LSC round claiming success with a set id the store never saw.
+  rig.inv.on_round_complete(/*ok=*/true, /*set=*/987654321);
+  EXPECT_TRUE(rig.saw("image-completeness")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, LeakedForegroundEventFires) {
+  Rig rig;
+  ASSERT_TRUE(rig.inv.ok()) << rig.inv.report();
+
+  // Leak: foreground work scheduled past the end of the run that nothing
+  // will ever consume.
+  rig.bed.sim.schedule_after(1000 * sim::kSecond, [] {});
+  rig.inv.end_of_run(/*expect_quiesced=*/true);
+  EXPECT_TRUE(rig.saw("queue-hygiene")) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, InconsistentLedgerFires) {
+  Rig rig;
+  ckpt::MessageLedger ledger;
+  ledger.record_send(0, 1, /*msg_id=*/1);
+  // At a cut with no in-flight traffic allowed, a sent-but-undelivered
+  // message is an inconsistent ledger.
+  EXPECT_FALSE(rig.inv.verify_ledger(ledger, /*allow_in_flight=*/false));
+  EXPECT_TRUE(rig.saw("ledger-consistency")) << rig.inv.report();
+
+  // The same ledger is a legal in-flight cut.
+  check::Invariants clean(check::Invariants::Wiring{});
+  EXPECT_TRUE(clean.verify_ledger(ledger, /*allow_in_flight=*/true));
+  EXPECT_TRUE(clean.ok());
+}
+
+TEST(InvariantCheckerTest, ViolationsAreCountedInTelemetry) {
+  Rig rig;
+  rig.inv.on_round_complete(true, 424242);
+  rig.inv.on_round_complete(true, 424243);
+  EXPECT_EQ(rig.bed.metrics.counter_value("check.violations"), 2u);
+  EXPECT_EQ(
+      rig.bed.metrics.counter_value("check.violation.image-completeness"),
+      2u);
+}
+
+// ---- fault-free runs stay clean ---------------------------------------------
+
+TEST(InvariantCheckerTest, FaultFreeCheckpointLifecycleIsClean) {
+  Rig rig;
+  rig.checkpoint();
+  rig.checkpoint();
+  rig.checkpoint();
+
+  // Restore from the newest generation, then retire the VC entirely.
+  bool restored = false;
+  rig.bed.dvc->restore_vc(*rig.vc, rig.vc->placements(),
+                          [&](bool ok) { restored = ok; });
+  rig.bed.sim.run_until(rig.bed.sim.now() + 120 * sim::kSecond);
+  EXPECT_TRUE(restored);
+
+  rig.inv.end_of_run(/*expect_quiesced=*/false);
+  EXPECT_TRUE(rig.inv.ok()) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, FaultFreeFullJobRunIsClean) {
+  Rig rig(/*seed=*/11, /*vc_size=*/4);
+
+  app::WorkloadSpec job;
+  job.name = "check-job";
+  job.ranks = 4;
+  job.iterations = 40;
+  job.flops_per_rank_iter = 1e9;
+  job.pattern = app::Pattern::kAllToAll;
+  job.bytes_per_msg = 4096;
+  auto application = std::make_unique<app::ParallelApp>(
+      rig.bed.sim, rig.bed.fabric.network(), rig.vc->contexts(), job);
+  rig.bed.dvc->attach_app(*rig.vc, *application);
+  application->start();
+
+  core::DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &rig.lsc;
+  policy.interval = 10 * sim::kSecond;
+  policy.watchdog_interval = 11 * sim::kSecond;
+  rig.bed.dvc->enable_auto_recovery(*rig.vc, policy);
+
+  while (!application->completed() &&
+         rig.bed.sim.now() < 600 * sim::kSecond) {
+    rig.bed.sim.run_until(rig.bed.sim.now() + 10 * sim::kSecond);
+  }
+  ASSERT_TRUE(application->completed());
+
+  // Quiesce: stop the periodic machinery and drain the foreground queue,
+  // then demand a clean final sweep including queue hygiene.
+  rig.bed.dvc->disable_auto_recovery(*rig.vc);
+  rig.bed.sim.run(2'000'000);
+  rig.inv.end_of_run(/*expect_quiesced=*/true);
+  EXPECT_TRUE(rig.inv.ok()) << rig.inv.report();
+}
+
+TEST(InvariantCheckerTest, DestroyedVcLeavesNoRefcountResidue) {
+  Rig rig;
+  rig.checkpoint();
+  rig.checkpoint();
+  EXPECT_FALSE(rig.bed.dvc->set_refs().empty());
+
+  rig.bed.dvc->destroy_vc(*rig.vc);
+  rig.vc = nullptr;
+  // With the VC gone its retained generations must be released — a
+  // leftover refcount entry is exactly the leak check_refcounts flags.
+  rig.inv.end_of_run(/*expect_quiesced=*/false);
+  EXPECT_TRUE(rig.inv.ok()) << rig.inv.report();
+  EXPECT_TRUE(rig.bed.dvc->set_refs().empty());
+}
+
+}  // namespace
+}  // namespace dvc

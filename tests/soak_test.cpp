@@ -1,30 +1,30 @@
 #include <gtest/gtest.h>
-#include <iostream>
 
 #include <cstdint>
-#include <memory>
-#include <tuple>
+#include <iostream>
+#include <string>
+#include <vector>
 
-#include "app/workload.hpp"
-#include "ckpt/lsc.hpp"
-#include "fault/fault_injector.hpp"
-#include "fault/fault_plan.hpp"
-#include "testbed.hpp"
+#include "tools/sweep.hpp"
 
-// Seeded fault soak: N randomized fault schedules against the full stack,
-// each asserting the one invariant that matters — the job either completes
-// or reports a diagnosed failure. Silent hangs (the bug class this PR's
-// retry/recovery machinery exists to kill) fail the suite with the seed in
-// the message so any schedule is replayable in isolation.
+// Seeded fault soak, driven through the dvcsweep harness: each campaign is
+// one mix of the scenarios/sweep26.scn grid (kept verbatim below), run
+// across a worker pool with the invariant checker attached to every cell.
+// The core assertion is unchanged from the original hand-rolled loops —
+// every schedule either completes or reports a diagnosed failure, never a
+// silent hang — and now additionally: zero invariant violations anywhere.
 //
-// A plain build runs kSeeds schedules and stays tier-1 fast; a -DDVC_SOAK=ON
-// build (ci.sh --soak, under ASan) widens the sweep.
+// A plain build runs kSeeds schedules per mix and stays fast; a
+// -DDVC_SOAK=ON build (ci.sh --soak, under ASan) widens the sweep.
 
 namespace dvc {
 namespace {
 
-using test::TestBed;
-using test::TestBedOptions;
+using tools::CellOutcome;
+using tools::CellStatus;
+using tools::SweepCell;
+using tools::SweepGrid;
+using tools::SweepReport;
 
 #ifdef DVC_SOAK
 constexpr std::uint64_t kSeeds = 150;
@@ -36,277 +36,162 @@ constexpr std::uint64_t kStorageSeeds = 20;
 constexpr std::uint64_t kControlSeeds = 15;
 #endif
 
-struct SoakOutcome {
-  bool completed = false;
-  bool failed = false;
-  std::uint32_t iter0 = 0;
-  std::uint64_t recoveries = 0;
-  std::uint64_t watchdog = 0;
-  std::uint64_t lsc_retries = 0;
-  std::uint64_t faults_injected = 0;
-  std::uint64_t faults_lifted = 0;
-  std::uint64_t checkpoints = 0;
-  std::uint64_t verify_failures = 0;
-  std::uint64_t failovers = 0;
-  std::uint64_t fallbacks = 0;
-  std::uint64_t abandoned = 0;
-  std::uint64_t damage_planted = 0;  ///< corruptions + torn writes, all stores
-  std::uint64_t coordinator_crashes = 0;
-  std::uint64_t coordinator_reboots = 0;
-  std::uint64_t stale_completions = 0;
-  std::uint64_t orphans_swept = 0;   ///< discarded sealed + aborted open sets
-  std::uint64_t fenced_writes = 0;   ///< store + hypervisor fence rejections
+// The soak grid — scenarios/sweep26.scn inline (the dvcsweep_grid_scenario
+// ctest entry runs the file itself; keep the two in sync).
+constexpr const char* kSoakGrid = R"(
+clusters = 2
+nodes_per_cluster = 5
+store_write_mbps = 400
+abort_saves_on_failure = true
+vc_size = 6
+guest_ram_mib = 64
 
-  friend bool operator==(const SoakOutcome& a, const SoakOutcome& b) {
-    return std::tie(a.completed, a.failed, a.iter0, a.recoveries, a.watchdog,
-                    a.lsc_retries, a.faults_injected, a.faults_lifted,
-                    a.checkpoints, a.verify_failures, a.failovers,
-                    a.fallbacks, a.abandoned, a.damage_planted,
-                    a.coordinator_crashes, a.coordinator_reboots,
-                    a.stale_completions, a.orphans_swept, a.fenced_writes) ==
-           std::tie(b.completed, b.failed, b.iter0, b.recoveries, b.watchdog,
-                    b.lsc_retries, b.faults_injected, b.faults_lifted,
-                    b.checkpoints, b.verify_failures, b.failovers,
-                    b.fallbacks, b.abandoned, b.damage_planted,
-                    b.coordinator_crashes, b.coordinator_reboots,
-                    b.stale_completions, b.orphans_swept, b.fenced_writes);
+workload = ptrans
+pattern = alltoall
+msg_bytes = 4096
+iterations = 200
+iter_seconds = 0.1
+
+checkpoint_interval_s = 15
+watchdog_interval_s = 11
+lsc.round_timeout_s = 30
+lsc.max_round_retries = 2
+lsc.retry_backoff_s = 2
+
+horizon_s = 1200
+slice_s = 100
+settle_s = 150
+
+fault.enabled = true
+fault.start_s = 30
+fault.horizon_s = 90
+fault.node_crash_mtbf_s = 70
+fault.node_down_s = 25
+fault.link_down_mtbf_s = 120
+fault.link_down_s = 15
+fault.disk_slow_mtbf_s = 100
+fault.disk_slow_s = 30
+fault.disk_slow_factor = 4.0
+fault.clock_step_mtbf_s = 80
+fault.clock_step_ms = 300
+
+sweep.seeds = 1..8
+sweep.mixes = faulty durable partition
+
+mix.durable.store_replicas = 1
+mix.durable.iterations = 500
+mix.durable.checkpoint_interval_s = 25
+mix.durable.fault.horizon_s = 150
+mix.durable.fault.node_crash_mtbf_s = 28
+mix.durable.fault.store_corrupt_mtbf_s = 10
+mix.durable.fault.store_tear_mtbf_s = 20
+mix.durable.fault.link_down_mtbf_s = 0
+mix.durable.fault.disk_slow_mtbf_s = 0
+mix.durable.fault.clock_step_mtbf_s = 0
+
+mix.partition.coordinator.head_node = 9
+mix.partition.fault.partition_mtbf_s = 110
+mix.partition.fault.partition_s = 12
+mix.partition.fault.coordinator_crash_mtbf_s = 55
+mix.partition.fault.coordinator_down_s = 10
+)";
+
+/// Expands the soak grid to one mix's cells over seeds 1..n.
+std::vector<SweepCell> mix_cells(const std::string& mix, std::uint64_t n) {
+  SweepGrid grid = SweepGrid::load("sweep26.scn", kSoakGrid);
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= n; ++s) seeds.push_back(s);
+  grid.set_seeds(seeds);
+  std::vector<SweepCell> cells;
+  for (SweepCell& c : grid.cells()) {
+    if (c.mix == mix) cells.push_back(std::move(c));
   }
-};
+  return cells;
+}
 
-/// One randomized schedule against the full stack. `storage_faults` swaps
-/// the link/disk/clock processes for the durability gauntlet: silent
-/// corruption and torn writes against the checkpoint store (and one
-/// replica, so some damage is masked and some forces generation fallback).
-/// `control_faults` puts the control plane itself in the blast radius:
-/// the coordinator runs on a (crashable) head node while partitions and
-/// coordinator crashes land on top of the general schedule.
-SoakOutcome run_soak(std::uint64_t seed, bool storage_faults = false,
-                     bool control_faults = false) {
-  TestBedOptions o;
-  o.clusters = 2;
-  o.nodes_per_cluster = 5;
-  o.seed = seed;
-  o.store.write_bps = 400e6;
-  o.store.read_bps = 800e6;
-  o.hv.abort_saves_on_failure = true;
-  if (storage_faults) o.store_replicas = 1;
-  TestBed bed(o);
-
-  ckpt::NtpLscCoordinator lsc(bed.sim, {}, sim::Rng(seed ^ 0x50AC));
-  lsc.set_metrics(&bed.metrics);
-  ckpt::LscCoordinator::RetryPolicy retry;
-  retry.max_round_retries = 2;
-  retry.backoff = 2 * sim::kSecond;
-  retry.round_timeout = 30 * sim::kSecond;
-  lsc.set_retry_policy(retry);
-
-  core::VcSpec spec;
-  spec.name = "soak-vc";
-  spec.size = 6;  // spans both clusters, leaves 4 spare nodes
-  spec.guest.ram_bytes = 64ull << 20;
-  auto* vc = &bed.dvc->create_vc(spec, *bed.dvc->pick_nodes(spec.size), {});
-  // A spare node hosts the coordinator, so the node-crash process can kill
-  // the control plane the hard way too (head death, reboot on repair).
-  if (control_faults) bed.dvc->designate_head_node(9);
-  bed.sim.run_until(20 * sim::kSecond);
-
-  app::WorkloadSpec job;
-  job.name = "soak-job";
-  job.ranks = spec.size;
-  // The storage sweep runs a longer job: the fault window must overlap
-  // actual restores, or the planted damage is never read back.
-  job.iterations = storage_faults ? 500 : 200;
-  job.flops_per_rank_iter = 1e9;  // ~0.1 s of fault-free compute per iter
-  job.pattern = app::Pattern::kAllToAll;
-  job.bytes_per_msg = 4096;
-  auto application = std::make_unique<app::ParallelApp>(
-      bed.sim, bed.fabric.network(), vc->contexts(), job);
-  bed.dvc->attach_app(*vc, *application);
-  application->start();
-
-  core::DvcManager::RecoveryPolicy policy;
-  policy.coordinator = &lsc;
-  // Storage sweep: longer interval, so a damaged newest generation is
-  // usually still the recovery point when the next crash forces a restore.
-  policy.interval = storage_faults ? 25 * sim::kSecond : 15 * sim::kSecond;
-  policy.watchdog_interval = 11 * sim::kSecond;
-  bed.dvc->enable_auto_recovery(*vc, policy);
-
-  // The randomized schedule: every fault class active, crashes reboot (so
-  // the spare pool regenerates), all sampled over a 90 s horizon so the
-  // tail of the run is quiet enough to converge.
-  fault::StochasticFaults stochastic;
-  stochastic.horizon = 90 * sim::kSecond;
-  stochastic.node_crash_mtbf = 70 * sim::kSecond;
-  stochastic.node_down_for = 25 * sim::kSecond;
-  if (storage_faults) {
-    // Durability gauntlet: crashes force restores while corruption and
-    // torn writes chew on the very images those restores need. Dense
-    // schedules — a corrupted image is only *observed* if a restore reads
-    // it before the next periodic round supersedes it.
-    stochastic.horizon = 150 * sim::kSecond;
-    stochastic.node_crash_mtbf = 28 * sim::kSecond;
-    stochastic.store_corrupt_mtbf = 10 * sim::kSecond;
-    stochastic.store_tear_mtbf = 20 * sim::kSecond;
-  } else {
-    stochastic.link_down_mtbf = 120 * sim::kSecond;
-    stochastic.link_down_for = 15 * sim::kSecond;
-    stochastic.disk_slow_mtbf = 100 * sim::kSecond;
-    stochastic.disk_slow_for = 30 * sim::kSecond;
-    stochastic.disk_slow_factor = 4.0;
-    stochastic.clock_step_mtbf = 80 * sim::kSecond;
-    stochastic.clock_step_max = 300 * sim::kMillisecond;
-    if (control_faults) {
-      // Partitions mostly shorter than the ~25 s transport budget (masked
-      // unless they compound with a crash) plus repeated control-plane
-      // outages, so LSC rounds die at every phase across the sweep.
-      stochastic.partition_mtbf = 110 * sim::kSecond;
-      stochastic.partition_for = 12 * sim::kSecond;
-      stochastic.coordinator_crash_mtbf = 55 * sim::kSecond;
-      stochastic.coordinator_down_for = 10 * sim::kSecond;
-    }
+/// Shared teeth: no silent hangs, no invariant violations, anywhere.
+void assert_no_hangs(const SweepReport& report) {
+  for (const CellOutcome& o : report.outcomes) {
+    ASSERT_TRUE(o.status == CellStatus::kCompleted ||
+                o.status == CellStatus::kDiagnosed)
+        << o.key << " " << tools::to_string(o.status)
+        << (o.error.empty() ? "" : " error=" + o.error)
+        << ": iterations=" << o.iterations
+        << " recoveries=" << o.recoveries << " watchdog=" << o.watchdog
+        << " faults=" << o.faults_injected << "/" << o.faults_lifted
+        << " checkpoints=" << o.checkpoints
+        << " violations=" << o.violations.size() << " — repro: " << o.repro;
   }
-  fault::FaultPlan sampled;
-  sampled.sample(stochastic,
-                 static_cast<std::uint32_t>(bed.fabric.node_count()),
-                 o.clusters, sim::Rng(seed ^ 0xFA17),
-                 static_cast<std::uint32_t>(1 + bed.replica_stores.size()));
-  // Shift the schedule past checkpoint #0 (seals ~23 s): the window before
-  // the first complete checkpoint is inherently unprotected — a member
-  // lost there ends the job with a diagnosed failure, which is correct
-  // but not what this sweep is probing.
-  fault::FaultPlan plan;
-  for (fault::FaultEvent e : sampled.schedule()) {
-    e.at += 30 * sim::kSecond;
-    plan.add(e);
-  }
-  fault::FaultInjector::Hooks hooks{&bed.fabric, &bed.store, bed.time.get(),
-                                    bed.replica_ptrs(), {}};
-  if (control_faults) {
-    hooks.coordinator_crash = [&bed](sim::Duration down_for) {
-      bed.dvc->crash_coordinator(down_for);
-    };
-  }
-  fault::FaultInjector injector(bed.sim, hooks, &bed.metrics);
-  injector.arm(plan);
-
-  // Run in slices so a completed job doesn't drag a thousand seconds of
-  // idle-VC checkpoints behind it; stopping early never changes the
-  // schedule of what did run.
-  for (sim::Time t = 100 * sim::kSecond; t <= 1200 * sim::kSecond;
-       t += 100 * sim::kSecond) {
-    bed.sim.run_until(t);
-    // Keep going on failure: the watchdog may still roll the job back.
-    if (application->completed()) break;
-  }
-  // A recovery that was already in flight when the job finished rolls the
-  // ranks back and re-runs the tail; give that churn time to settle so the
-  // outcome below reflects the final state, not a mid-rerun sample.
-  bed.sim.run_until(bed.sim.now() + 150 * sim::kSecond);
-
-  SoakOutcome out;
-  out.completed = application->completed();
-  out.failed = application->failed();
-  out.iter0 = application->rank(0).state().iter;
-  out.recoveries = bed.dvc->recoveries_performed();
-  out.watchdog = bed.dvc->watchdog_detections();
-  out.lsc_retries = bed.metrics.counter_value("ckpt.lsc.round_retries");
-  out.faults_injected = bed.metrics.counter_value("fault.injected");
-  out.faults_lifted = bed.metrics.counter_value("fault.lifted");
-  out.checkpoints = bed.metrics.counter_value("core.dvc.checkpoints");
-  out.verify_failures =
-      bed.metrics.counter_value("storage.store.verify_failures");
-  out.failovers = bed.metrics.counter_value("storage.replica.failovers");
-  out.fallbacks = bed.dvc->restore_fallbacks();
-  out.abandoned = bed.dvc->recoveries_abandoned();
-  out.damage_planted =
-      bed.metrics.counter_value("storage.store.corruptions") +
-      bed.metrics.counter_value("storage.store.torn_writes") +
-      bed.metrics.counter_value("storage.replica0.store.corruptions") +
-      bed.metrics.counter_value("storage.replica0.store.torn_writes");
-  out.coordinator_crashes = bed.dvc->coordinator_crashes();
-  out.coordinator_reboots = bed.dvc->coordinator_reboots();
-  out.stale_completions = bed.dvc->stale_completions();
-  out.orphans_swept =
-      bed.dvc->orphan_sets_discarded() + bed.dvc->orphan_rounds_aborted();
-  out.fenced_writes =
-      bed.metrics.counter_value("storage.images.fenced_writes") +
-      bed.metrics.counter_value("vm.hypervisor.fenced_commands");
-  return out;
+  EXPECT_EQ(report.invariant_violations, 0u);
+  EXPECT_EQ(report.wedged, 0u);
 }
 
 TEST(FaultSoakTest, EverySeedCompletesOrDiagnosesItsFailure) {
-  std::uint64_t completed = 0;
+  const std::vector<SweepCell> cells = mix_cells("faulty", kSeeds);
+  ASSERT_EQ(cells.size(), kSeeds);
+  const SweepReport report = run_sweep(cells, /*jobs=*/2, "sweep26.scn");
+  assert_no_hangs(report);
+
   std::uint64_t with_faults = 0;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    const SoakOutcome out = run_soak(seed);
-    // The invariant: no silent hang. Either the job ran to the end or the
-    // stack diagnosed a failure it could not recover from.
-    ASSERT_TRUE(out.completed || out.failed)
-        << "seed " << seed << " hung silently: iter0=" << out.iter0
-        << " recoveries=" << out.recoveries << " watchdog=" << out.watchdog
-        << " faults=" << out.faults_injected << "/" << out.faults_lifted
-        << " checkpoints=" << out.checkpoints;
-    if (out.completed) {
-      ++completed;
-      EXPECT_EQ(out.iter0, 200u) << "seed " << seed;
+  for (const CellOutcome& o : report.outcomes) {
+    if (o.status == CellStatus::kCompleted) {
+      EXPECT_EQ(o.iterations, 200u) << o.key;
     } else {
-      std::cout << "[soak] seed " << seed << " failed: iter0=" << out.iter0
-                << " recoveries=" << out.recoveries
-                << " watchdog=" << out.watchdog
-                << " lsc_retries=" << out.lsc_retries
-                << " faults=" << out.faults_injected << "/"
-                << out.faults_lifted << " ckpts=" << out.checkpoints << "\n";
+      std::cout << "[soak] " << o.key << " diagnosed: iterations="
+                << o.iterations << " recoveries=" << o.recoveries
+                << " watchdog=" << o.watchdog
+                << " lsc_retries=" << o.lsc_retries << " faults="
+                << o.faults_injected << "/" << o.faults_lifted
+                << " ckpts=" << o.checkpoints << "\n";
     }
-    if (out.faults_injected > 0) ++with_faults;
+    if (o.faults_injected > 0) ++with_faults;
   }
   // The sweep has teeth: nearly every schedule injects something, and the
   // recovery machinery turns nearly all of them into completions.
   EXPECT_GE(with_faults, kSeeds * 9 / 10);
-  EXPECT_GE(completed, kSeeds * 9 / 10);
+  EXPECT_GE(report.completed, kSeeds * 9 / 10);
 }
 
 TEST(FaultSoakTest, SameSeedReplaysToTheSameOutcome) {
-  for (std::uint64_t seed : {7ull, 21ull, 42ull}) {
-    const SoakOutcome first = run_soak(seed);
-    const SoakOutcome second = run_soak(seed);
-    EXPECT_TRUE(first == second) << "seed " << seed << " not deterministic";
+  const std::vector<SweepCell> cells = mix_cells("faulty", 42);
+  for (const SweepCell& c : cells) {
+    if (c.seed != 7 && c.seed != 21 && c.seed != 42) continue;
+    const CellOutcome first = tools::run_cell(c);
+    const CellOutcome second = tools::run_cell(c);
+    EXPECT_EQ(first.to_json(), second.to_json())
+        << c.key << " not deterministic";
   }
 }
 
 // ---------------------------------------------------------------------------
-// The same sweep against the durability layer: corruption and torn-write
-// schedules on top of node crashes. The invariant is unchanged — complete
-// or diagnose, never hang — and the damage must actually be exercised
-// (verify failures observed across the sweep, not silently absorbed).
+// The durability mix: corruption and torn-write schedules on top of node
+// crashes, against the replicated store and generation fallback. The
+// invariant is unchanged — complete or diagnose, never hang — and the
+// damage must actually be exercised (verify failures observed across the
+// sweep, not silently absorbed).
 
 TEST(FaultSoakTest, StorageFaultSeedsCompleteOrDiagnose) {
-  std::uint64_t completed = 0;
+  const std::vector<SweepCell> cells = mix_cells("durable", kStorageSeeds);
+  ASSERT_EQ(cells.size(), kStorageSeeds);
+  const SweepReport report = run_sweep(cells, /*jobs=*/2, "sweep26.scn");
+  assert_no_hangs(report);
+
   std::uint64_t damage_seen = 0;
   std::uint64_t damage_planted = 0;
-  for (std::uint64_t seed = 1; seed <= kStorageSeeds; ++seed) {
-    const SoakOutcome out = run_soak(seed, /*storage_faults=*/true);
-    ASSERT_TRUE(out.completed || out.failed)
-        << "storage seed " << seed << " hung silently: iter0=" << out.iter0
-        << " recoveries=" << out.recoveries
-        << " verify_failures=" << out.verify_failures
-        << " failovers=" << out.failovers << " fallbacks=" << out.fallbacks
-        << " abandoned=" << out.abandoned;
-    if (out.completed) {
-      ++completed;
-      EXPECT_EQ(out.iter0, 500u) << "storage seed " << seed;
+  for (const CellOutcome& o : report.outcomes) {
+    if (o.status == CellStatus::kCompleted) {
+      EXPECT_EQ(o.iterations, 500u) << o.key;
     } else {
       // Diagnosed loss is only acceptable when the durability machinery
       // actually ran out of intact generations — never as a default.
-      EXPECT_GT(out.abandoned, 0u) << "storage seed " << seed;
-      std::cout << "[soak] storage seed " << seed
-                << " diagnosed: verify_failures=" << out.verify_failures
-                << " failovers=" << out.failovers
-                << " fallbacks=" << out.fallbacks
-                << " abandoned=" << out.abandoned << "\n";
+      EXPECT_GT(o.abandoned, 0u) << o.key;
+      std::cout << "[soak] " << o.key << " diagnosed: verify_failures="
+                << o.verify_failures << " failovers=" << o.failovers
+                << " fallbacks=" << o.fallbacks
+                << " abandoned=" << o.abandoned << "\n";
     }
-    if (out.verify_failures > 0) ++damage_seen;
-    damage_planted += out.damage_planted;
+    if (o.verify_failures > 0) ++damage_seen;
+    damage_planted += o.damage_planted;
   }
   // The sweep has teeth: every run plants real damage, and in a steady
   // fraction of seeds a restore reads it back and trips verification
@@ -314,69 +199,62 @@ TEST(FaultSoakTest, StorageFaultSeedsCompleteOrDiagnose) {
   // sweep checks the machinery holds up under randomized schedules).
   EXPECT_GE(damage_planted, kStorageSeeds * 5);
   EXPECT_GE(damage_seen, kStorageSeeds / 10);
-  EXPECT_GE(completed, kStorageSeeds * 8 / 10);
+  EXPECT_GE(report.completed, kStorageSeeds * 8 / 10);
 }
 
 TEST(FaultSoakTest, StorageFaultSeedsReplayDeterministically) {
-  for (std::uint64_t seed : {5ull, 13ull, 33ull}) {
-    const SoakOutcome first = run_soak(seed, /*storage_faults=*/true);
-    const SoakOutcome second = run_soak(seed, /*storage_faults=*/true);
-    EXPECT_TRUE(first == second)
-        << "storage seed " << seed << " not deterministic";
+  const std::vector<SweepCell> cells = mix_cells("durable", 33);
+  for (const SweepCell& c : cells) {
+    if (c.seed != 5 && c.seed != 13 && c.seed != 33) continue;
+    const CellOutcome first = tools::run_cell(c);
+    const CellOutcome second = tools::run_cell(c);
+    EXPECT_EQ(first.to_json(), second.to_json())
+        << c.key << " not deterministic";
   }
 }
 
 // ---------------------------------------------------------------------------
-// The same sweep with the control plane in the blast radius: network
+// The partition mix: the control plane in the blast radius — network
 // partitions and coordinator crashes (including head-node deaths from the
-// ordinary crash process) on top of the general schedule. The invariant is
-// the same — complete or diagnose, never hang — which is exactly the
-// property the intent WAL, epoch fencing, and reboot reconciliation exist
-// to preserve.
+// ordinary crash process) on top of the general schedule. Complete or
+// diagnose, never hang: exactly the property the intent WAL, epoch
+// fencing, and reboot reconciliation exist to preserve.
 
 TEST(FaultSoakTest, ControlPlaneSeedsCompleteOrDiagnose) {
-  std::uint64_t completed = 0;
+  const std::vector<SweepCell> cells = mix_cells("partition", kControlSeeds);
+  ASSERT_EQ(cells.size(), kControlSeeds);
+  const SweepReport report = run_sweep(cells, /*jobs=*/2, "sweep26.scn");
+  assert_no_hangs(report);
+
   std::uint64_t with_outages = 0;
-  for (std::uint64_t seed = 1; seed <= kControlSeeds; ++seed) {
-    const SoakOutcome out =
-        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
-    ASSERT_TRUE(out.completed || out.failed)
-        << "control seed " << seed << " hung silently: iter0=" << out.iter0
-        << " recoveries=" << out.recoveries
-        << " coordinator=" << out.coordinator_crashes << "/"
-        << out.coordinator_reboots << " stale=" << out.stale_completions
-        << " orphans=" << out.orphans_swept
-        << " fenced=" << out.fenced_writes;
+  for (const CellOutcome& o : report.outcomes) {
     // A crashed coordinator always came back: no schedule ends headless.
-    EXPECT_EQ(out.coordinator_crashes, out.coordinator_reboots)
-        << "control seed " << seed;
-    if (out.completed) {
-      ++completed;
-      EXPECT_EQ(out.iter0, 200u) << "control seed " << seed;
+    EXPECT_EQ(o.coordinator_crashes, o.coordinator_reboots) << o.key;
+    if (o.status == CellStatus::kCompleted) {
+      EXPECT_EQ(o.iterations, 200u) << o.key;
     } else {
-      std::cout << "[soak] control seed " << seed
-                << " diagnosed: recoveries=" << out.recoveries
-                << " coordinator=" << out.coordinator_crashes << "/"
-                << out.coordinator_reboots
-                << " stale=" << out.stale_completions
-                << " orphans=" << out.orphans_swept << "\n";
+      std::cout << "[soak] " << o.key << " diagnosed: recoveries="
+                << o.recoveries << " coordinator=" << o.coordinator_crashes
+                << "/" << o.coordinator_reboots
+                << " stale=" << o.stale_completions
+                << " orphans=" << o.orphans_swept << "\n";
     }
-    if (out.coordinator_crashes > 0) ++with_outages;
+    if (o.coordinator_crashes > 0) ++with_outages;
   }
   // The sweep has teeth: most schedules take the coordinator down at
   // least once, and the reboot machinery still lands the jobs.
   EXPECT_GE(with_outages, kControlSeeds / 2);
-  EXPECT_GE(completed, kControlSeeds * 7 / 10);
+  EXPECT_GE(report.completed, kControlSeeds * 7 / 10);
 }
 
 TEST(FaultSoakTest, ControlPlaneSeedsReplayDeterministically) {
-  for (std::uint64_t seed : {3ull, 11ull, 26ull}) {
-    const SoakOutcome first =
-        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
-    const SoakOutcome second =
-        run_soak(seed, /*storage_faults=*/false, /*control_faults=*/true);
-    EXPECT_TRUE(first == second)
-        << "control seed " << seed << " not deterministic";
+  const std::vector<SweepCell> cells = mix_cells("partition", 26);
+  for (const SweepCell& c : cells) {
+    if (c.seed != 3 && c.seed != 11 && c.seed != 26) continue;
+    const CellOutcome first = tools::run_cell(c);
+    const CellOutcome second = tools::run_cell(c);
+    EXPECT_EQ(first.to_json(), second.to_json())
+        << c.key << " not deterministic";
   }
 }
 

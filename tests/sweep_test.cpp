@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/sweep.hpp"
+
+// The sweep harness contract: grids expand deterministically, the
+// aggregate's bytes are a function of the cell set alone (never of the
+// worker count or scheduling), and any cell key can be replayed in
+// isolation to the bit-identical outcome the aggregate recorded.
+
+namespace dvc::tools {
+namespace {
+
+// A fast 32-cell grid: 4 mixes x 8 seeds of a small fault-free-ish job.
+// The churn mix adds real fault injection so the sweep exercises the
+// recovery machinery (and the checker) under thread-pool scheduling too.
+constexpr const char* kGrid = R"(
+clusters = 1
+nodes_per_cluster = 8
+vc_size = 4
+guest_ram_mib = 64
+workload = ptrans
+pattern = alltoall
+msg_bytes = 2048
+iterations = 10
+iter_seconds = 0.05
+checkpoint_interval_s = 10
+watchdog_interval_s = 11
+lsc.round_timeout_s = 30
+lsc.max_round_retries = 2
+horizon_s = 200
+slice_s = 10
+settle_s = 10
+sweep.seeds = 1..8
+sweep.mixes = plain retry churn heavy
+mix.retry.lsc.retry_backoff_s = 1
+mix.heavy.iterations = 25
+mix.churn.fault.enabled = true
+mix.churn.fault.start_s = 10
+mix.churn.fault.horizon_s = 40
+mix.churn.fault.node_crash_mtbf_s = 30
+mix.churn.fault.node_down_s = 15
+)";
+
+TEST(SweepGridTest, ExpandsSortedCrossProductWithOverrides) {
+  const SweepGrid grid = SweepGrid::load("scenarios/unit.scn", kGrid);
+  EXPECT_EQ(grid.mixes(),
+            (std::vector<std::string>{"plain", "retry", "churn", "heavy"}));
+  EXPECT_EQ(grid.seeds().size(), 8u);
+
+  const std::vector<SweepCell> cells = grid.cells();
+  ASSERT_EQ(cells.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end(),
+                             [](const SweepCell& a, const SweepCell& b) {
+                               return a.key < b.key;
+                             }));
+  // Stem strips the directory and .scn; key is <stem>:<mix>:<seed>.
+  EXPECT_EQ(cells.front().key, "unit:churn:1");
+  for (const SweepCell& c : cells) {
+    EXPECT_EQ(c.key, "unit:" + c.mix + ":" + std::to_string(c.seed));
+    EXPECT_EQ(c.cfg.get_int("seed", -1),
+              static_cast<std::int64_t>(c.seed));
+    // Mix overrides land only on their own mix.
+    EXPECT_EQ(c.cfg.get_int("iterations", -1), c.mix == "heavy" ? 25 : 10);
+    EXPECT_EQ(c.cfg.get_bool("fault.enabled", false), c.mix == "churn");
+  }
+}
+
+TEST(SweepGridTest, RejectsMalformedGrids) {
+  EXPECT_THROW(SweepGrid::load("g", "no_such_key = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepGrid::load("g", "sweep.typo = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepGrid::load("g", "sweep.seeds = 5..1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepGrid::load("g", "sweep.seeds = banana\n"),
+               std::invalid_argument);
+  // Overrides must name a declared mix and a recognised scenario key.
+  EXPECT_THROW(SweepGrid::load("g", "mix.ghost.iterations = 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(SweepGrid::load("g",
+                               "sweep.mixes = a\nmix.a.no_such_key = 5\n"),
+               std::invalid_argument);
+  // A grid without seeds loads (the CLI can inject them) but won't expand.
+  const SweepGrid grid = SweepGrid::load("g", "iterations = 5\n");
+  EXPECT_THROW((void)grid.cells(), std::invalid_argument);
+}
+
+TEST(SweepGridTest, SeedListsAndRangesParse) {
+  const SweepGrid a = SweepGrid::load("g", "sweep.seeds = 3..6\n");
+  EXPECT_EQ(a.seeds(), (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  const SweepGrid b = SweepGrid::load("g", "sweep.seeds = 9 2 5\n");
+  EXPECT_EQ(b.seeds(), (std::vector<std::uint64_t>{9, 2, 5}));
+}
+
+TEST(SweepHarnessTest, AggregateBytesAreIndependentOfJobCount) {
+  const SweepGrid grid = SweepGrid::load("sweep_unit.scn", kGrid);
+  const std::vector<SweepCell> cells = grid.cells();
+  ASSERT_EQ(cells.size(), 32u);
+
+  const SweepReport serial = run_sweep(cells, /*jobs=*/1, grid.name());
+  const SweepReport parallel = run_sweep(cells, /*jobs=*/8, grid.name());
+
+  // The tentpole contract: byte-identical aggregates regardless of the
+  // worker count.
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
+
+  // And the grid itself is healthy: every cell completed or diagnosed,
+  // no invariant violations, no silent wedges.
+  EXPECT_EQ(serial.invariant_violations, 0u);
+  EXPECT_EQ(serial.wedged, 0u);
+  EXPECT_EQ(serial.completed + serial.diagnosed, cells.size());
+  for (const CellOutcome& o : serial.outcomes) {
+    EXPECT_TRUE(o.error.empty()) << o.key << ": " << o.error;
+    if (o.status == CellStatus::kCompleted && o.mix != "heavy") {
+      EXPECT_EQ(o.iterations, 10u) << o.key;
+    }
+  }
+}
+
+TEST(SweepHarnessTest, ReproReplaysARecordedCellBitForBit) {
+  SweepGrid grid = SweepGrid::load("sweep_unit.scn", kGrid);
+  grid.set_seeds({1, 2});
+  const std::vector<SweepCell> cells = grid.cells();
+  ASSERT_EQ(cells.size(), 8u);
+  const SweepReport report = run_sweep(cells, /*jobs=*/4, grid.name());
+
+  // Replaying any cell alone — what `dvcsweep --repro <key>` does —
+  // reproduces the recorded outcome byte for byte, including the fault
+  // schedule, counters, and any violations.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellOutcome replay = run_cell(cells[i]);
+    EXPECT_EQ(replay.to_json(), report.outcomes[i].to_json())
+        << "cell " << cells[i].key << " did not replay bit-for-bit";
+  }
+}
+
+TEST(SweepHarnessTest, ReproCommandLineNamesTheCell) {
+  SweepGrid grid = SweepGrid::load("scenarios/sweep_unit.scn", kGrid);
+  grid.set_seeds({4});
+  const std::vector<SweepCell> cells = grid.cells();
+  for (const SweepCell& c : cells) {
+    const CellOutcome out = run_cell(c);
+    EXPECT_EQ(out.repro,
+              "dvcsweep --repro " + c.key + " scenarios/sweep_unit.scn");
+  }
+}
+
+}  // namespace
+}  // namespace dvc::tools

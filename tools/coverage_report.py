@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Per-subsystem line-coverage report for a `gcc --coverage` build tree.
+
+Usage: coverage_report.py <build-dir> [<out.json>]
+
+Walks the build tree for .gcda files, asks gcov for JSON intermediate
+records, and folds them into per-file and per-subsystem line coverage
+(a line counts as covered if any test executed it in any translation
+unit). Only repo sources under src/ and tools/ are reported.
+
+Uses gcov's --json-format directly (no gcovr dependency).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def subsystem_of(rel_path):
+    parts = rel_path.split(os.sep)
+    if parts[0] == "src" and len(parts) > 2:
+        return parts[1]
+    return parts[0]  # tools/, tests/
+
+
+def main():
+    build = sys.argv[1] if len(sys.argv) > 1 else "build-cov"
+    out_path = (
+        sys.argv[2] if len(sys.argv) > 2
+        else os.path.join(build, "coverage.json")
+    )
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    gcda = []
+    for dirpath, _dirs, files in os.walk(build):
+        gcda.extend(
+            os.path.join(dirpath, f) for f in files if f.endswith(".gcda")
+        )
+    if not gcda:
+        print(f"coverage: no .gcda files under {build} — run the "
+              "instrumented tests first", file=sys.stderr)
+        return 2
+
+    # file -> {line_number: covered?}; OR-merged across translation units.
+    lines = defaultdict(dict)
+    for path in gcda:
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", os.path.basename(path)],
+            cwd=os.path.dirname(path),
+            capture_output=True,
+        )
+        if proc.returncode != 0:
+            print(f"coverage: gcov failed on {path}: "
+                  f"{proc.stderr.decode().strip()}", file=sys.stderr)
+            continue
+        for doc in proc.stdout.decode().splitlines():
+            doc = doc.strip()
+            if not doc:
+                continue
+            data = json.loads(doc)
+            for f in data.get("files", []):
+                name = f["file"]
+                if not os.path.isabs(name):
+                    name = os.path.join(os.path.dirname(path), name)
+                name = os.path.realpath(name)
+                if not name.startswith(repo + os.sep):
+                    continue
+                rel = os.path.relpath(name, repo)
+                if not (rel.startswith("src" + os.sep)
+                        or rel.startswith("tools" + os.sep)):
+                    continue
+                per = lines[rel]
+                for ln in f.get("lines", []):
+                    n = ln["line_number"]
+                    per[n] = per.get(n, False) or ln["count"] > 0
+
+    files = {}
+    subsystems = defaultdict(lambda: [0, 0])
+    for rel in sorted(lines):
+        total = len(lines[rel])
+        covered = sum(1 for hit in lines[rel].values() if hit)
+        files[rel] = {
+            "lines": total,
+            "covered": covered,
+            "pct": round(100.0 * covered / total, 1) if total else 0.0,
+        }
+        agg = subsystems[subsystem_of(rel)]
+        agg[0] += total
+        agg[1] += covered
+
+    report = {
+        "subsystems": {
+            name: {
+                "lines": total,
+                "covered": covered,
+                "pct": round(100.0 * covered / total, 1) if total else 0.0,
+            }
+            for name, (total, covered) in sorted(subsystems.items())
+        },
+        "files": files,
+    }
+    with open(out_path, "w") as out:
+        json.dump(report, out, indent=2, sort_keys=True)
+        out.write("\n")
+
+    print(f"{'subsystem':<12} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for name, stats in report["subsystems"].items():
+        print(f"{name:<12} {stats['lines']:>7} {stats['covered']:>8} "
+              f"{stats['pct']:>6.1f}%")
+    grand_total = sum(t for t, _ in subsystems.values())
+    grand_covered = sum(c for _, c in subsystems.values())
+    pct = 100.0 * grand_covered / grand_total if grand_total else 0.0
+    print(f"{'TOTAL':<12} {grand_total:>7} {grand_covered:>8} {pct:>6.1f}%")
+    print(f"coverage artifact: {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

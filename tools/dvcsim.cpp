@@ -32,6 +32,14 @@
 //   proactive             evacuate on predictions (default false)
 //   migrate_at_s          [migrate] when to move the VC (default 60)
 //   live                  [migrate] pre-copy instead of LSC (default true)
+//   pattern               communication pattern override: none | ring |
+//                         broadcast | treebroadcast | alltoall
+//   msg_bytes             per-message payload override (0 = workload's)
+//   horizon_s             [reliability] simulation horizon (default 100 h)
+//   slice_s               [reliability] drive-loop granularity (default 10)
+//   settle_s              [reliability] extra settle after the loop (0)
+//   check.invariants      attach the invariant checker (default true);
+//                         violations are printed and force exit 1
 //   trace                 echo the machine room's event log (default true)
 //   metrics_json          metrics dump path ("" disables, default "")
 //   chrome_trace          Chrome trace path ("" disables, default "")
@@ -39,6 +47,7 @@
 // Fault-injection keys (all off by default; see src/fault/):
 //
 //   fault.enabled           master switch for the injector (default false)
+//   fault.start_s           shift the whole fault schedule this much later
 //   fault.seed              RNG seed for stochastic faults (default: seed)
 //   fault.script            scripted events, FaultPlan::parse_script grammar
 //   fault.horizon_s         stochastic sampling window (0 disables)
@@ -83,11 +92,13 @@
 #include <string>
 
 #include "app/workload.hpp"
+#include "check/invariants.hpp"
 #include "ckpt/interval.hpp"
 #include "ckpt/lsc.hpp"
 #include "core/machine_room.hpp"
 #include "fault/fault_injector.hpp"
 #include "tools/scenario_config.hpp"
+#include "tools/scenario_keys.hpp"
 
 using namespace dvc;  // NOLINT — CLI brevity
 
@@ -101,6 +112,7 @@ struct Scenario {
   std::unique_ptr<ckpt::NtpLscCoordinator> lsc;
   std::unique_ptr<fault::FaultInjector> injector;
   std::uint64_t seed = 42;
+  std::unique_ptr<check::Invariants> inv;
 };
 
 core::MachineRoomOptions room_options(const tools::ScenarioConfig& cfg) {
@@ -122,7 +134,8 @@ core::MachineRoomOptions room_options(const tools::ScenarioConfig& cfg) {
 std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
   auto sc = std::unique_ptr<Scenario>(new Scenario{
       cfg, core::MachineRoom(room_options(cfg)), nullptr, nullptr, nullptr,
-      nullptr, static_cast<std::uint64_t>(cfg.get_int("seed", 42))});
+      nullptr, static_cast<std::uint64_t>(cfg.get_int("seed", 42)),
+      nullptr});
   if (cfg.get_bool("trace", true)) {
     sc->room.trace.set_echo(true);
     sc->room.trace.set_min_level(sim::TraceLevel::kInfo);
@@ -160,6 +173,26 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
                     : app::make_ptrans(4096, vc_size, iterations);
   workload.flops_per_rank_iter = iter_s * 1e10;
   workload.bytes_per_msg = 64 << 10;
+  const std::string pattern = cfg.get_string("pattern", "");
+  if (!pattern.empty()) {
+    if (pattern == "none") {
+      workload.pattern = app::Pattern::kNone;
+    } else if (pattern == "ring") {
+      workload.pattern = app::Pattern::kRing;
+    } else if (pattern == "broadcast") {
+      workload.pattern = app::Pattern::kBroadcast;
+    } else if (pattern == "treebroadcast") {
+      workload.pattern = app::Pattern::kTreeBroadcast;
+    } else if (pattern == "alltoall") {
+      workload.pattern = app::Pattern::kAllToAll;
+    } else {
+      throw std::invalid_argument("unknown pattern: " + pattern);
+    }
+  }
+  const std::int64_t msg_bytes = cfg.get_int("msg_bytes", 0);
+  if (msg_bytes > 0) {
+    workload.bytes_per_msg = static_cast<std::uint64_t>(msg_bytes);
+  }
   sc->application = std::make_unique<app::ParallelApp>(
       sc->room.sim, sc->room.fabric.network(), sc->vc->contexts(),
       workload);
@@ -178,6 +211,16 @@ std::unique_ptr<Scenario> build(const tools::ScenarioConfig& cfg) {
   retry.backoff =
       sim::from_seconds(cfg.get_double("lsc.retry_backoff_s", 2.0));
   sc->lsc->set_retry_policy(retry);
+
+  // Invariant checker: always compiled, on by default, opt out with
+  // `check.invariants = off`. Violations turn the run's exit nonzero.
+  if (cfg.get_bool("check.invariants", true)) {
+    sc->inv = std::make_unique<check::Invariants>(check::Invariants::Wiring{
+        &sc->room.sim, sc->room.dvc.get(), &sc->room.images,
+        &sc->room.fence, &sc->room.metrics});
+    sc->inv->attach();
+    sc->lsc->set_check(sc->inv.get());
+  }
   return sc;
 }
 
@@ -239,6 +282,18 @@ void arm_faults(Scenario& sc) {
                 sim::Rng(fault_seed),
                 static_cast<std::uint32_t>(
                     1 + sc.room.replica_stores.size()));
+  }
+  // `fault.start_s` shifts the whole sampled schedule, so a grid can open
+  // the fault window after the first full checkpoint instead of at boot.
+  const sim::Duration start =
+      sim::from_seconds(sc.cfg.get_double("fault.start_s", 0.0));
+  if (start > 0) {
+    fault::FaultPlan shifted;
+    for (fault::FaultEvent e : plan.schedule()) {
+      e.at += start;
+      shifted.add(e);
+    }
+    plan = std::move(shifted);
   }
   sc.injector = std::make_unique<fault::FaultInjector>(
       sc.room.sim,
@@ -367,13 +422,21 @@ int run_reliability(Scenario& sc) {
   sc.room.dvc->enable_auto_recovery(*sc.vc, policy);
   arm_failures(sc);
 
-  while (!sc.application->completed() &&
-         sc.room.sim.now() < 100 * sim::kHour) {
+  const sim::Time horizon = sim::from_seconds(
+      sc.cfg.get_double("horizon_s", sim::to_seconds(100 * sim::kHour)));
+  const sim::Duration slice =
+      sim::from_seconds(sc.cfg.get_double("slice_s", 10.0));
+  while (!sc.application->completed() && sc.room.sim.now() < horizon) {
     if (sc.application->failed() ||
         sc.vc->state() == core::VcState::kFailed) {
       break;  // recovery abandoned — no point simulating the wreck further
     }
-    sc.room.sim.run_until(sc.room.sim.now() + 10 * sim::kSecond);
+    sc.room.sim.run_until(sc.room.sim.now() + slice);
+  }
+  const double settle_s = sc.cfg.get_double("settle_s", 0.0);
+  if (settle_s > 0) {
+    sc.room.sim.run_until(sc.room.sim.now() +
+                          sim::from_seconds(settle_s));
   }
   print_summary(sc);
   if (!sc.application->completed()) {
@@ -517,26 +580,7 @@ int main(int argc, char** argv) {
   try {
     const tools::ScenarioConfig cfg =
         tools::ScenarioConfig::parse(text.str());
-    cfg.validate_keys({
-        "experiment", "clusters", "nodes_per_cluster", "seed",
-        "store_write_mbps", "trace", "vc_size", "guest_ram_mib", "workload",
-        "iterations", "iter_seconds", "mtbf_per_node_s", "repair_s",
-        "predicted_fraction", "prediction_lead_s", "checkpoint_interval_s",
-        "incremental", "proactive", "migrate_at_s", "live", "metrics_json",
-        "chrome_trace", "store_replicas", "keep_checkpoints",
-        "max_restore_retries", "fault.enabled", "fault.seed", "fault.script",
-        "fault.horizon_s", "fault.node_crash_mtbf_s", "fault.node_down_s",
-        "fault.link_down_mtbf_s", "fault.link_down_s",
-        "fault.disk_slow_mtbf_s", "fault.disk_slow_s",
-        "fault.disk_slow_factor", "fault.clock_step_mtbf_s",
-        "fault.clock_step_ms", "fault.store_corrupt_mtbf_s",
-        "fault.store_tear_mtbf_s", "fault.partition_mtbf_s",
-        "fault.partition_s", "fault.coordinator_crash_mtbf_s",
-        "fault.coordinator_down_s", "coordinator.head_node",
-        "coordinator.lease_s", "lsc.round_timeout_s",
-        "lsc.max_round_retries", "lsc.retry_backoff_s",
-        "watchdog_interval_s", "abort_saves_on_failure",
-    });
+    cfg.validate_keys(tools::scenario_keys());
     if (metrics_path.empty()) {
       metrics_path = cfg.get_string("metrics_json", "");
     }
@@ -557,6 +601,18 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "unknown experiment: %s\n", experiment.c_str());
       return 2;
+    }
+    if (sc->inv != nullptr) {
+      // Final invariant sweep; a CLI run doesn't force-drain the queue,
+      // so no quiescence expectation here.
+      sc->inv->end_of_run(/*expect_quiesced=*/false);
+      if (!sc->inv->ok()) {
+        std::fprintf(stderr, "INVARIANT VIOLATIONS (%zu):\n%s",
+                     sc->inv->violations().size(),
+                     sc->inv->report().c_str());
+        status = 1;
+      }
+      sc->inv->detach();
     }
     export_telemetry(*sc, metrics_path, trace_path);
     return status;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace dvc::tools {
 
@@ -107,6 +108,25 @@ class ScenarioConfig final {
                                     "' is not recognised");
       }
     }
+  }
+
+  /// Container overload, for vocabularies assembled at runtime (the shared
+  /// list in scenario_keys.hpp).
+  void validate_keys(const std::vector<const char*>& known) const {
+    const std::set<std::string, std::less<>> allowed(known.begin(),
+                                                     known.end());
+    for (const auto& [key, value] : values_) {
+      if (!allowed.contains(key)) {
+        throw std::invalid_argument("scenario key '" + key +
+                                    "' is not recognised");
+      }
+    }
+  }
+
+  /// Sets (or overrides) one key — how a sweep mix's overrides and the
+  /// per-cell seed are layered onto a base scenario.
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
   }
 
   [[nodiscard]] const std::map<std::string, std::string>& entries()

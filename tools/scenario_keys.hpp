@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+namespace dvc::tools {
+
+/// The shared scenario-key vocabulary: every `key = value` a scenario file
+/// may carry, consumed by both dvcsim and the dvcsweep cell runner so the
+/// two interpreters can never drift apart. Sweep grids additionally accept
+/// `sweep.*` and `mix.<name>.<key>` lines (validated against this list
+/// after the prefix is stripped).
+inline const std::vector<const char*>& scenario_keys() {
+  static const std::vector<const char*> keys = {
+      // experiment shape
+      "experiment", "clusters", "nodes_per_cluster", "seed",
+      "store_write_mbps", "trace", "vc_size", "guest_ram_mib", "workload",
+      "iterations", "iter_seconds", "pattern", "msg_bytes",
+      // reliability policy
+      "mtbf_per_node_s", "repair_s", "predicted_fraction",
+      "prediction_lead_s", "checkpoint_interval_s", "incremental",
+      "proactive", "migrate_at_s", "live", "store_replicas",
+      "keep_checkpoints", "max_restore_retries", "watchdog_interval_s",
+      "abort_saves_on_failure",
+      // run driving (reliability experiment / sweep cells)
+      "horizon_s", "slice_s", "settle_s",
+      // telemetry
+      "metrics_json", "chrome_trace",
+      // invariant checking
+      "check.invariants",
+      // fault injection
+      "fault.enabled", "fault.seed", "fault.script", "fault.start_s",
+      "fault.horizon_s", "fault.node_crash_mtbf_s", "fault.node_down_s",
+      "fault.link_down_mtbf_s", "fault.link_down_s",
+      "fault.disk_slow_mtbf_s", "fault.disk_slow_s", "fault.disk_slow_factor",
+      "fault.clock_step_mtbf_s", "fault.clock_step_ms",
+      "fault.store_corrupt_mtbf_s", "fault.store_tear_mtbf_s",
+      "fault.partition_mtbf_s", "fault.partition_s",
+      "fault.coordinator_crash_mtbf_s", "fault.coordinator_down_s",
+      // coordinator fault domain
+      "coordinator.head_node", "coordinator.lease_s",
+      // LSC retry machinery
+      "lsc.round_timeout_s", "lsc.max_round_retries", "lsc.retry_backoff_s",
+  };
+  return keys;
+}
+
+}  // namespace dvc::tools

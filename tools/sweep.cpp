@@ -1,0 +1,601 @@
+#include "tools/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "app/workload.hpp"
+#include "ckpt/lsc.hpp"
+#include "core/machine_room.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "tools/scenario_keys.hpp"
+
+namespace dvc::tools {
+
+namespace {
+
+/// Foreground-drain budget after a completed job: generous enough for any
+/// legitimate in-flight round to land, small enough that a perpetually
+/// rescheduling leak stops instead of hanging the sweep.
+constexpr std::uint64_t kDrainLimit = 2'000'000;
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string grid_stem(const std::string& name) {
+  std::string stem = name;
+  const auto slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem.erase(0, slash + 1);
+  const auto dot = stem.rfind(".scn");
+  if (dot != std::string::npos && dot == stem.size() - 4) stem.erase(dot);
+  return stem;
+}
+
+[[nodiscard]] std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+[[nodiscard]] std::vector<std::uint64_t> parse_seeds(const std::string& v) {
+  std::vector<std::uint64_t> seeds;
+  for (const std::string& tok : split_ws(v)) {
+    const auto dots = tok.find("..");
+    try {
+      if (dots != std::string::npos) {
+        const std::uint64_t lo = std::stoull(tok.substr(0, dots));
+        const std::uint64_t hi = std::stoull(tok.substr(dots + 2));
+        if (hi < lo) throw std::invalid_argument("range reversed");
+        for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+      } else {
+        seeds.push_back(std::stoull(tok));
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("sweep.seeds: bad entry '" + tok + "'");
+    }
+  }
+  return seeds;
+}
+
+[[nodiscard]] bool key_known(const std::string& key) {
+  for (const char* k : scenario_keys()) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(CellStatus s) noexcept {
+  switch (s) {
+    case CellStatus::kCompleted: return "completed";
+    case CellStatus::kDiagnosed: return "diagnosed";
+    case CellStatus::kInvariantViolation: return "invariant-violation";
+    case CellStatus::kWedged: return "wedged";
+  }
+  return "?";
+}
+
+// ---- grid expansion ---------------------------------------------------------
+
+SweepGrid SweepGrid::load(std::string name, const std::string& text) {
+  SweepGrid g;
+  g.name_ = std::move(name);
+  g.stem_ = grid_stem(g.name_);
+  const ScenarioConfig raw = ScenarioConfig::parse(text);
+  for (const auto& [key, value] : raw.entries()) {
+    if (key == "sweep.seeds") {
+      g.seeds_ = parse_seeds(value);
+      continue;
+    }
+    if (key == "sweep.mixes") {
+      g.mixes_ = split_ws(value);
+      continue;
+    }
+    if (key.rfind("sweep.", 0) == 0) {
+      throw std::invalid_argument("unknown sweep key '" + key + "'");
+    }
+    if (key.rfind("mix.", 0) == 0) {
+      const auto dot = key.find('.', 4);
+      if (dot == std::string::npos || dot == 4 || dot + 1 == key.size()) {
+        throw std::invalid_argument("mix override '" + key +
+                                    "': expected mix.<name>.<key>");
+      }
+      const std::string mix = key.substr(4, dot - 4);
+      const std::string sub = key.substr(dot + 1);
+      if (!key_known(sub)) {
+        throw std::invalid_argument("mix override '" + key +
+                                    "': scenario key '" + sub +
+                                    "' is not recognised");
+      }
+      g.overrides_[mix][sub] = value;
+      continue;
+    }
+    if (!key_known(key)) {
+      throw std::invalid_argument("scenario key '" + key +
+                                  "' is not recognised");
+    }
+    g.base_.set(key, value);
+  }
+  if (g.mixes_.empty()) {
+    if (!g.overrides_.empty()) {
+      throw std::invalid_argument(
+          "grid has mix.* overrides but no sweep.mixes line");
+    }
+    g.mixes_ = {"base"};
+  }
+  for (const auto& [mix, kv] : g.overrides_) {
+    if (std::find(g.mixes_.begin(), g.mixes_.end(), mix) ==
+        g.mixes_.end()) {
+      throw std::invalid_argument("mix '" + mix +
+                                  "' has overrides but is not listed in "
+                                  "sweep.mixes");
+    }
+  }
+  return g;
+}
+
+void SweepGrid::set_seeds(std::vector<std::uint64_t> seeds) {
+  seeds_ = std::move(seeds);
+}
+
+std::vector<SweepCell> SweepGrid::cells() const {
+  if (seeds_.empty()) {
+    throw std::invalid_argument("grid '" + name_ +
+                                "' has no seeds (sweep.seeds or --seeds)");
+  }
+  std::vector<SweepCell> out;
+  out.reserve(mixes_.size() * seeds_.size());
+  // Deterministic expansion order: mixes as declared, seeds ascending,
+  // then a final sort by key so the aggregate's order is a function of
+  // the cell set alone.
+  std::vector<std::uint64_t> seeds = seeds_;
+  std::sort(seeds.begin(), seeds.end());
+  for (const std::string& mix : mixes_) {
+    const auto ov = overrides_.find(mix);
+    for (const std::uint64_t seed : seeds) {
+      SweepCell c;
+      c.grid = name_;
+      c.mix = mix;
+      c.seed = seed;
+      c.key = stem_ + ":" + mix + ":" + std::to_string(seed);
+      c.cfg = base_;
+      if (ov != overrides_.end()) {
+        for (const auto& [k, v] : ov->second) c.cfg.set(k, v);
+      }
+      c.cfg.set("seed", std::to_string(seed));
+      c.cfg.set("trace", "false");
+      out.push_back(std::move(c));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SweepCell& a, const SweepCell& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+// ---- one cell ---------------------------------------------------------------
+
+namespace {
+
+void run_cell_impl(const SweepCell& cell, CellOutcome& out) {
+  const ScenarioConfig& cfg = cell.cfg;
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  core::MachineRoomOptions o;
+  o.clusters = static_cast<std::uint32_t>(cfg.get_int("clusters", 1));
+  o.nodes_per_cluster =
+      static_cast<std::uint32_t>(cfg.get_int("nodes_per_cluster", 32));
+  o.seed = seed;
+  const double write_mbps = cfg.get_double("store_write_mbps", 100.0);
+  o.store.write_bps = write_mbps * 1e6;
+  o.store.read_bps = 2 * write_mbps * 1e6;
+  o.hv.abort_saves_on_failure =
+      cfg.get_bool("abort_saves_on_failure", false);
+  o.store_replicas =
+      static_cast<std::uint32_t>(cfg.get_int("store_replicas", 0));
+  core::MachineRoom room(o);
+
+  const auto vc_size =
+      static_cast<std::uint32_t>(cfg.get_int("vc_size", 16));
+  core::VcSpec spec;
+  spec.name = "sweep";
+  spec.size = vc_size;
+  spec.guest.ram_bytes =
+      static_cast<std::uint64_t>(cfg.get_int("guest_ram_mib", 256)) << 20;
+  const auto placement = room.dvc->pick_nodes(vc_size);
+  if (!placement) {
+    throw std::runtime_error("not enough nodes for vc_size=" +
+                             std::to_string(vc_size));
+  }
+  core::VirtualCluster* vc = &room.dvc->create_vc(spec, *placement, {});
+  const std::int64_t head = cfg.get_int("coordinator.head_node", -1);
+  if (head >= 0) {
+    room.dvc->designate_head_node(
+        static_cast<hw::NodeId>(head),
+        sim::from_seconds(cfg.get_double("coordinator.lease_s", 10.0)));
+  }
+  room.sim.run_until(20 * sim::kSecond);
+
+  const std::string kind = cfg.get_string("workload", "ptrans");
+  const auto iterations =
+      static_cast<std::uint32_t>(cfg.get_int("iterations", 1000));
+  const double iter_s = cfg.get_double("iter_seconds", 0.5);
+  app::WorkloadSpec workload =
+      kind == "hpl" ? app::make_hpl(16384, vc_size, iterations)
+                    : app::make_ptrans(4096, vc_size, iterations);
+  workload.flops_per_rank_iter = iter_s * 1e10;
+  workload.bytes_per_msg = 64 << 10;
+  const std::string pattern = cfg.get_string("pattern", "");
+  if (!pattern.empty()) {
+    if (pattern == "none") {
+      workload.pattern = app::Pattern::kNone;
+    } else if (pattern == "ring") {
+      workload.pattern = app::Pattern::kRing;
+    } else if (pattern == "broadcast") {
+      workload.pattern = app::Pattern::kBroadcast;
+    } else if (pattern == "treebroadcast") {
+      workload.pattern = app::Pattern::kTreeBroadcast;
+    } else if (pattern == "alltoall") {
+      workload.pattern = app::Pattern::kAllToAll;
+    } else {
+      throw std::invalid_argument("unknown pattern: " + pattern);
+    }
+  }
+  const std::int64_t msg_bytes = cfg.get_int("msg_bytes", 0);
+  if (msg_bytes > 0) {
+    workload.bytes_per_msg = static_cast<std::uint64_t>(msg_bytes);
+  }
+  auto application = std::make_unique<app::ParallelApp>(
+      room.sim, room.fabric.network(), vc->contexts(), workload);
+  room.dvc->attach_app(*vc, *application);
+  application->start();
+
+  ckpt::NtpLscCoordinator lsc(room.sim, {}, sim::Rng(seed ^ 0xD5C));
+  lsc.set_metrics(&room.metrics);
+  ckpt::LscCoordinator::RetryPolicy retry;
+  retry.round_timeout =
+      sim::from_seconds(cfg.get_double("lsc.round_timeout_s", 0.0));
+  retry.max_round_retries =
+      static_cast<int>(cfg.get_int("lsc.max_round_retries", 0));
+  retry.backoff =
+      sim::from_seconds(cfg.get_double("lsc.retry_backoff_s", 2.0));
+  lsc.set_retry_policy(retry);
+
+  // The invariant checker rides along by default; a scenario opts out
+  // with `check.invariants = off` (e.g. to time checker overhead).
+  std::unique_ptr<check::Invariants> inv;
+  if (cfg.get_bool("check.invariants", true)) {
+    inv = std::make_unique<check::Invariants>(check::Invariants::Wiring{
+        &room.sim, room.dvc.get(), &room.images, &room.fence,
+        &room.metrics});
+    inv->attach();
+    lsc.set_check(inv.get());
+  }
+
+  // Fault injection, dvcsim grammar plus `fault.start_s`: the sampled
+  // schedule is shifted wholesale so the fault window opens after the
+  // first complete checkpoint instead of during boot.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (cfg.get_bool("fault.enabled", false)) {
+    fault::FaultPlan plan;
+    const std::string script = cfg.get_string("fault.script", "");
+    if (!script.empty()) plan = fault::FaultPlan::parse_script(script);
+    fault::StochasticFaults fs;
+    fs.horizon = sim::from_seconds(cfg.get_double("fault.horizon_s", 0.0));
+    fs.node_crash_mtbf =
+        sim::from_seconds(cfg.get_double("fault.node_crash_mtbf_s", 0.0));
+    fs.node_down_for =
+        sim::from_seconds(cfg.get_double("fault.node_down_s", 0.0));
+    fs.link_down_mtbf =
+        sim::from_seconds(cfg.get_double("fault.link_down_mtbf_s", 0.0));
+    fs.link_down_for =
+        sim::from_seconds(cfg.get_double("fault.link_down_s", 30.0));
+    fs.disk_slow_mtbf =
+        sim::from_seconds(cfg.get_double("fault.disk_slow_mtbf_s", 0.0));
+    fs.disk_slow_for =
+        sim::from_seconds(cfg.get_double("fault.disk_slow_s", 60.0));
+    fs.disk_slow_factor = cfg.get_double("fault.disk_slow_factor", 10.0);
+    fs.clock_step_mtbf =
+        sim::from_seconds(cfg.get_double("fault.clock_step_mtbf_s", 0.0));
+    fs.clock_step_max = static_cast<sim::Duration>(
+        cfg.get_double("fault.clock_step_ms", 500.0) * sim::kMillisecond);
+    fs.store_corrupt_mtbf = sim::from_seconds(
+        cfg.get_double("fault.store_corrupt_mtbf_s", 0.0));
+    fs.store_tear_mtbf =
+        sim::from_seconds(cfg.get_double("fault.store_tear_mtbf_s", 0.0));
+    fs.partition_mtbf =
+        sim::from_seconds(cfg.get_double("fault.partition_mtbf_s", 0.0));
+    fs.partition_for =
+        sim::from_seconds(cfg.get_double("fault.partition_s", 30.0));
+    fs.coordinator_crash_mtbf = sim::from_seconds(
+        cfg.get_double("fault.coordinator_crash_mtbf_s", 0.0));
+    fs.coordinator_down_for = sim::from_seconds(
+        cfg.get_double("fault.coordinator_down_s", 20.0));
+    if (fs.horizon > 0) {
+      const auto fault_seed = static_cast<std::uint64_t>(
+          cfg.get_int("fault.seed", static_cast<std::int64_t>(seed)));
+      plan.sample(fs,
+                  static_cast<std::uint32_t>(room.fabric.node_count()),
+                  static_cast<std::uint32_t>(room.fabric.cluster_count()),
+                  sim::Rng(fault_seed),
+                  static_cast<std::uint32_t>(
+                      1 + room.replica_stores.size()));
+    }
+    const sim::Duration start =
+        sim::from_seconds(cfg.get_double("fault.start_s", 0.0));
+    if (start > 0) {
+      fault::FaultPlan shifted;
+      for (fault::FaultEvent e : plan.schedule()) {
+        e.at += start;
+        shifted.add(e);
+      }
+      plan = std::move(shifted);
+    }
+    injector = std::make_unique<fault::FaultInjector>(
+        room.sim,
+        fault::FaultInjector::Hooks{
+            &room.fabric, &room.store, room.time.get(), room.replica_ptrs(),
+            [&room](sim::Duration down_for) {
+              room.dvc->crash_coordinator(down_for);
+            }},
+        &room.metrics);
+    injector->arm(plan);
+  }
+  const double mtbf_s = cfg.get_double("mtbf_per_node_s", 0.0);
+  if (mtbf_s > 0.0) {
+    const double repair_s = cfg.get_double("repair_s", 1800.0);
+    room.fabric.subscribe_failures([&room, repair_s](hw::NodeId n) {
+      room.sim.schedule_after(sim::from_seconds(repair_s), [&room, n] {
+        room.fabric.repair_node(n);
+      });
+    });
+    room.fabric.arm_random_failures(
+        sim::from_seconds(mtbf_s), cfg.get_double("predicted_fraction", 0.0),
+        sim::from_seconds(cfg.get_double("prediction_lead_s", 120.0)));
+  }
+
+  core::DvcManager::RecoveryPolicy policy;
+  policy.coordinator = &lsc;
+  policy.interval =
+      sim::from_seconds(cfg.get_double("checkpoint_interval_s", 300.0));
+  policy.incremental = cfg.get_bool("incremental", false);
+  policy.proactive_migration = cfg.get_bool("proactive", false);
+  policy.watchdog_interval =
+      sim::from_seconds(cfg.get_double("watchdog_interval_s", 0.0));
+  policy.keep_checkpoints =
+      static_cast<std::size_t>(cfg.get_int("keep_checkpoints", 2));
+  policy.max_restore_retries =
+      static_cast<int>(cfg.get_int("max_restore_retries", 4));
+  room.dvc->enable_auto_recovery(*vc, policy);
+
+  // Sliced driving, soak-style: keep going on transient application
+  // failure (the watchdog may still roll the job back); stop only on
+  // completion, a terminal diagnosis, or the horizon.
+  const sim::Time horizon =
+      sim::from_seconds(cfg.get_double("horizon_s", 3600.0));
+  const sim::Duration slice =
+      sim::from_seconds(cfg.get_double("slice_s", 10.0));
+  while (!application->completed() && room.sim.now() < horizon) {
+    if (vc->state() == core::VcState::kFailed) break;
+    room.sim.run_until(room.sim.now() + slice);
+  }
+  // Let in-flight churn (a recovery racing job completion) settle before
+  // sampling the outcome.
+  room.sim.run_until(
+      room.sim.now() +
+      sim::from_seconds(cfg.get_double("settle_s", 30.0)));
+  const bool completed = application->completed();
+  if (completed) {
+    // Stop the periodic machinery and drain every remaining foreground
+    // event; whatever survives the budget is a leak the checker reports.
+    room.dvc->disable_auto_recovery(*vc);
+    room.sim.run(kDrainLimit);
+  }
+  if (inv != nullptr) inv->end_of_run(/*expect_quiesced=*/completed);
+
+  out.iterations = application->rank(0).state().iter;
+  out.sim_time_s = sim::to_seconds(room.sim.now());
+  out.checkpoints = room.metrics.counter_value("core.dvc.checkpoints");
+  out.recoveries = room.dvc->recoveries_performed();
+  out.watchdog = room.dvc->watchdog_detections();
+  out.lsc_retries = room.metrics.counter_value("ckpt.lsc.round_retries");
+  out.faults_injected = room.metrics.counter_value("fault.injected");
+  out.faults_lifted = room.metrics.counter_value("fault.lifted");
+  out.verify_failures =
+      room.metrics.counter_value("storage.store.verify_failures");
+  out.failovers = room.metrics.counter_value("storage.replica.failovers");
+  out.fallbacks = room.dvc->restore_fallbacks();
+  out.abandoned = room.dvc->recoveries_abandoned();
+  out.damage_planted =
+      room.metrics.counter_value("storage.store.corruptions") +
+      room.metrics.counter_value("storage.store.torn_writes");
+  for (std::size_t r = 0; r < room.replica_stores.size(); ++r) {
+    const std::string prefix = "storage.replica" + std::to_string(r);
+    out.damage_planted +=
+        room.metrics.counter_value(prefix + ".store.corruptions") +
+        room.metrics.counter_value(prefix + ".store.torn_writes");
+  }
+  out.coordinator_crashes = room.dvc->coordinator_crashes();
+  out.coordinator_reboots = room.dvc->coordinator_reboots();
+  out.stale_completions = room.dvc->stale_completions();
+  out.orphans_swept =
+      room.dvc->orphan_sets_discarded() + room.dvc->orphan_rounds_aborted();
+  out.fenced_writes =
+      room.metrics.counter_value("storage.images.fenced_writes") +
+      room.metrics.counter_value("vm.hypervisor.fenced_commands");
+  if (inv != nullptr) out.violations = inv->violations();
+
+  if (!out.violations.empty()) {
+    out.status = CellStatus::kInvariantViolation;
+  } else if (completed) {
+    out.status = CellStatus::kCompleted;
+  } else if (application->failed() ||
+             vc->state() == core::VcState::kFailed) {
+    out.status = CellStatus::kDiagnosed;
+  } else {
+    out.status = CellStatus::kWedged;
+  }
+  if (inv != nullptr) inv->detach();
+}
+
+}  // namespace
+
+CellOutcome run_cell(const SweepCell& cell) {
+  CellOutcome out;
+  out.key = cell.key;
+  out.mix = cell.mix;
+  out.seed = cell.seed;
+  out.repro = "dvcsweep --repro " + cell.key + " " + cell.grid;
+  try {
+    run_cell_impl(cell, out);
+  } catch (const std::exception& e) {
+    out.status = CellStatus::kWedged;
+    out.error = e.what();
+  }
+  return out;
+}
+
+// ---- merging ----------------------------------------------------------------
+
+std::string CellOutcome::to_json() const {
+  auto num = [](std::uint64_t v) { return std::to_string(v); };
+  std::string j = "{";
+  j += "\"cell\":\"" + json_escape(key) + "\"";
+  j += ",\"mix\":\"" + json_escape(mix) + "\"";
+  j += ",\"seed\":" + num(seed);
+  j += ",\"status\":\"" + std::string(to_string(status)) + "\"";
+  if (!error.empty()) j += ",\"error\":\"" + json_escape(error) + "\"";
+  j += ",\"iterations\":" + num(iterations);
+  char t[32];
+  std::snprintf(t, sizeof t, "%.3f", sim_time_s);
+  j += ",\"sim_time_s\":" + std::string(t);
+  j += ",\"checkpoints\":" + num(checkpoints);
+  j += ",\"recoveries\":" + num(recoveries);
+  j += ",\"watchdog\":" + num(watchdog);
+  j += ",\"lsc_retries\":" + num(lsc_retries);
+  j += ",\"faults_injected\":" + num(faults_injected);
+  j += ",\"faults_lifted\":" + num(faults_lifted);
+  j += ",\"verify_failures\":" + num(verify_failures);
+  j += ",\"failovers\":" + num(failovers);
+  j += ",\"fallbacks\":" + num(fallbacks);
+  j += ",\"abandoned\":" + num(abandoned);
+  j += ",\"damage_planted\":" + num(damage_planted);
+  j += ",\"coordinator_crashes\":" + num(coordinator_crashes);
+  j += ",\"coordinator_reboots\":" + num(coordinator_reboots);
+  j += ",\"stale_completions\":" + num(stale_completions);
+  j += ",\"orphans_swept\":" + num(orphans_swept);
+  j += ",\"fenced_writes\":" + num(fenced_writes);
+  j += ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const check::Violation& v = violations[i];
+    if (i > 0) j += ",";
+    j += "{\"invariant\":\"" + json_escape(v.invariant) + "\"";
+    j += ",\"boundary\":\"" + std::string(check::to_string(v.boundary)) +
+         "\"";
+    j += ",\"at\":" + std::to_string(v.at);
+    j += ",\"detail\":\"" + json_escape(v.detail) + "\"}";
+  }
+  j += "]";
+  j += ",\"repro\":\"" + json_escape(repro) + "\"";
+  j += "}";
+  return j;
+}
+
+std::string SweepReport::to_json() const {
+  std::string j = "{";
+  j += "\"grid\":\"" + json_escape(grid) + "\"";
+  j += ",\"cells\":" + std::to_string(outcomes.size());
+  j += ",\"completed\":" + std::to_string(completed);
+  j += ",\"diagnosed\":" + std::to_string(diagnosed);
+  j += ",\"invariant_violations\":" + std::to_string(invariant_violations);
+  j += ",\"wedged\":" + std::to_string(wedged);
+  j += ",\"outcomes\":[\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) j += ",\n";
+    j += outcomes[i].to_json();
+  }
+  j += "\n]}";
+  return j;
+}
+
+SweepReport run_sweep(const std::vector<SweepCell>& cells, unsigned jobs,
+                      const std::string& grid_name) {
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+  }
+  SweepReport report;
+  report.grid = grid_name;
+  report.outcomes.resize(cells.size());
+
+  // Work-stealing by atomic index into the pre-sorted cell list; each
+  // outcome lands at its cell's index, so the merged order (and therefore
+  // the aggregate bytes) is independent of scheduling.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      report.outcomes[i] = run_cell(cells[i]);
+    }
+  };
+  if (jobs == 1 || cells.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    const unsigned n =
+        std::min<unsigned>(jobs, static_cast<unsigned>(cells.size()));
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const CellOutcome& o : report.outcomes) {
+    switch (o.status) {
+      case CellStatus::kCompleted: ++report.completed; break;
+      case CellStatus::kDiagnosed: ++report.diagnosed; break;
+      case CellStatus::kInvariantViolation:
+        ++report.invariant_violations;
+        break;
+      case CellStatus::kWedged: ++report.wedged; break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dvc::tools
